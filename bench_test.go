@@ -1,0 +1,114 @@
+// Package sperke_bench holds the benchmark harness that regenerates
+// every table and figure of the paper's evaluation. One testing.B
+// benchmark per experiment; run with
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration executes the full experiment deterministically;
+// rendered tables come from `go run ./cmd/sperke-bench` and are recorded
+// in EXPERIMENTS.md.
+package sperke_bench
+
+import (
+	"io"
+	"testing"
+
+	"sperke/internal/experiments"
+)
+
+// runExperiment is the shared benchmark body.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.Render(io.Discard)
+	}
+}
+
+// BenchmarkFigure5PlayerFPS regenerates Figure 5 (player FPS under the
+// three §3.5 configurations).
+func BenchmarkFigure5PlayerFPS(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkTable2LiveLatency regenerates Table 2 (live E2E latency,
+// 3 platforms × 5 conditions).
+func BenchmarkTable2LiveLatency(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkClaimTilingSavings regenerates the §2 tiling bandwidth-saving
+// claims (45% [16], 60–80% [37]).
+func BenchmarkClaimTilingSavings(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkClaimVersioningOverhead regenerates the §2 versioning storage
+// comparison (88 versions [46]).
+func BenchmarkClaimVersioningOverhead(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkSVCIncrementalUpgrade regenerates the §3.1.1 SVC-vs-AVC
+// upgrade cost comparison.
+func BenchmarkSVCIncrementalUpgrade(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkVRAAlgorithms regenerates the §3.1.2 VRA comparison on super
+// chunks.
+func BenchmarkVRAAlgorithms(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkHMPAccuracy regenerates the §3.2 predictor accuracy sweep.
+func BenchmarkHMPAccuracy(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkMultipathSchedulers regenerates the §3.3 multipath
+// comparison.
+func BenchmarkMultipathSchedulers(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkSpatialFallback regenerates the §3.4.2 spatial fall-back
+// comparison.
+func BenchmarkSpatialFallback(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkCrowdLiveHMP regenerates the §3.4.2 crowd-sourced live HMP
+// evaluation.
+func BenchmarkCrowdLiveHMP(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkClaim360Size regenerates the §1 "5× larger" size claim.
+func BenchmarkClaim360Size(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkTable1Priorities regenerates the Table 1 priority-class
+// demonstration.
+func BenchmarkTable1Priorities(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkFrameCacheDeltaShift regenerates the §3.5 decoded-frame-cache
+// delta-shift measurement.
+func BenchmarkFrameCacheDeltaShift(b *testing.B) { runExperiment(b, "E13") }
+
+// BenchmarkAblationOOSRing regenerates ablation A1 (OOS ring width).
+func BenchmarkAblationOOSRing(b *testing.B) { runExperiment(b, "A1") }
+
+// BenchmarkAblationHybridSVC regenerates ablation A2 (hybrid SVC/AVC
+// crossover).
+func BenchmarkAblationHybridSVC(b *testing.B) { runExperiment(b, "A2") }
+
+// BenchmarkAblationDecoderPool regenerates ablation A3 (decoder pool
+// size).
+func BenchmarkAblationDecoderPool(b *testing.B) { runExperiment(b, "A3") }
+
+// BenchmarkSperkeLive regenerates the §3.4.2 end-to-end projection:
+// SVC-ingest FoV-guided live vs the commercial platforms.
+func BenchmarkSperkeLive(b *testing.B) { runExperiment(b, "E14") }
+
+// BenchmarkViewerLatencySpread regenerates the §3.4.2 latency-variance
+// premise across a heterogeneous viewer population.
+func BenchmarkViewerLatencySpread(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkHybridSession regenerates ablation A4 (session-level hybrid
+// SVC/AVC).
+func BenchmarkHybridSession(b *testing.B) { runExperiment(b, "A4") }
+
+// BenchmarkPredictionWindow regenerates ablation A5 (HMP window vs VRA
+// behaviour).
+func BenchmarkPredictionWindow(b *testing.B) { runExperiment(b, "A5") }
+
+// BenchmarkBandwidthSweep regenerates the E16 crossover figure
+// (FoV-guided vs agnostic quality across link rates).
+func BenchmarkBandwidthSweep(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkTileCoverage regenerates ablation A6 (FoV tile coverage at a
+// fixed budget per predictor).
+func BenchmarkTileCoverage(b *testing.B) { runExperiment(b, "A6") }

@@ -1,0 +1,55 @@
+// Command sperke-bench runs the experiment suite that regenerates every
+// table and figure of the paper (see DESIGN.md's per-experiment index)
+// and prints them as text tables.
+//
+// Usage:
+//
+//	sperke-bench              # run everything
+//	sperke-bench -run E2      # one experiment
+//	sperke-bench -list        # list experiment IDs
+//	sperke-bench -seed 7      # change the reproducibility seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sperke/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	seed := flag.Int64("seed", 1, "random seed for all experiments")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	render := func(t *experiments.Table) {
+		if *format == "csv" {
+			t.RenderCSV(os.Stdout)
+			fmt.Println()
+			return
+		}
+		t.Render(os.Stdout)
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run != "" {
+		t, err := experiments.Run(*run, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		render(t)
+		return
+	}
+	for _, t := range experiments.RunAll(*seed) {
+		render(t)
+	}
+}

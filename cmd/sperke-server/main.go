@@ -1,0 +1,93 @@
+// Command sperke-server runs the tiled DASH origin of Fig. 2 over real
+// HTTP: manifests at /v/{video}/manifest.mpd and chunk segments at
+// /v/{video}/c/{quality}/{tile}/{index} (append ?layer=1 for one SVC
+// layer). Content is synthetic but deterministically sized by the
+// Sperke rate model, so any client sees realistic chunk-size dynamics.
+//
+// Usage:
+//
+//	sperke-server -addr :8360
+//	curl http://localhost:8360/v/demo/manifest.mpd
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/media"
+	"sperke/internal/tiling"
+)
+
+func main() {
+	addr := flag.String("addr", ":8360", "listen address")
+	dur := flag.Duration("duration", 2*time.Minute, "demo video duration")
+	chunk := flag.Duration("chunk", 2*time.Second, "chunk duration")
+	rows := flag.Int("rows", 4, "tile grid rows")
+	cols := flag.Int("cols", 6, "tile grid columns")
+	enc := flag.String("encoding", "SVC", "encoding of the demo video: AVC or SVC")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	encoding := media.EncodingAVC
+	if *enc == "SVC" {
+		encoding = media.EncodingSVC
+	} else if *enc != "AVC" {
+		fmt.Fprintf(os.Stderr, "unknown encoding %q\n", *enc)
+		os.Exit(2)
+	}
+
+	catalog := dash.NewCatalog()
+	videos := []*media.Video{
+		{
+			ID:             "demo",
+			Duration:       *dur,
+			ChunkDuration:  *chunk,
+			Grid:           tiling.Grid{Rows: *rows, Cols: *cols},
+			ProjectionName: "equirectangular",
+			Ladder:         media.DefaultLadder,
+			Encoding:       encoding,
+		},
+		{
+			ID:             "concert",
+			Duration:       *dur,
+			ChunkDuration:  *chunk,
+			Grid:           tiling.GridPrototype,
+			ProjectionName: "cubemap",
+			Ladder:         media.LiveLadder,
+			Encoding:       media.EncodingAVC,
+		},
+	}
+	for _, v := range videos {
+		if err := catalog.Add(v); err != nil {
+			log.Error("adding video", "id", v.ID, "err", err)
+			os.Exit(1)
+		}
+		log.Info("serving video", "id", v.ID, "chunks", v.NumChunks(),
+			"tiles", v.Grid.Tiles(), "encoding", v.Encoding.String())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: dash.NewServer(catalog, log)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	log.Info("sperke-server listening", "addr", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Multipath-commute: a viewer streams 360° video on a train with WiFi
+// and LTE both available. WiFi degrades mid-ride. Compare §3.3's
+// content-aware multipath against MPTCP-style splitting and each single
+// path: the content-aware scheduler keeps FoV chunks on the healthier
+// path and lets best-effort OOS chunks absorb the loss.
+//
+//	go run ./examples/multipath-commute
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/multipath"
+	"sperke/internal/netem"
+	"sperke/internal/sim"
+	"sperke/internal/tiling"
+	"sperke/internal/transport"
+)
+
+func main() {
+	fmt.Println("commute scenario: WiFi healthy for 60s, then degrades; LTE steady but lossy")
+	fmt.Printf("%-16s %14s %12s %14s\n", "scheduler", "FoV met", "urgent met", "OOS delivered")
+
+	type result struct {
+		fovMet, fov, urgMet, urg, oosOK, oos int
+	}
+	run := func(build func(c *sim.Clock, wifi, lte *netem.Path) transport.Scheduler) result {
+		clock := sim.NewClock(11)
+		// WiFi: 8 Mbps then a congested 1.5 Mbps after 60s.
+		wifiTrace := netem.MustSteps(
+			netem.Step{Start: 0, BPS: 8e6},
+			netem.Step{Start: 60 * time.Second, BPS: 1.5e6},
+		)
+		wifi := netem.NewPath(clock, "wifi", wifiTrace, 15*time.Millisecond, 0.002)
+		lte := netem.NewPath(clock, "lte", netem.Constant(5e6), 45*time.Millisecond, 0.015)
+		s := build(clock, wifi, lte)
+
+		var r result
+		for i := 0; i < 60; i++ {
+			i := i
+			submitAt := time.Duration(i) * 2 * time.Second
+			deadline := submitAt + 6*time.Second
+			clock.Schedule(submitAt, func() {
+				r.fov++
+				s.Submit(&transport.Request{
+					Chunk: tiling.ChunkID{Tile: tiling.TileID(i), Start: submitAt},
+					Bytes: 1_000_000, Deadline: deadline, Class: transport.ClassFoV,
+					OnDone: func(d netem.Delivery, met bool) {
+						if met {
+							r.fovMet++
+						}
+					},
+				})
+				r.oos++
+				s.Submit(&transport.Request{
+					Chunk: tiling.ChunkID{Tile: tiling.TileID(i + 100), Start: submitAt},
+					Bytes: 400_000, Deadline: deadline, Class: transport.ClassOOS,
+					OnDone: func(d netem.Delivery, met bool) {
+						if d.OK && met {
+							r.oosOK++
+						}
+					},
+				})
+				if i%5 == 4 { // an HMP correction needs a rush chunk
+					r.urg++
+					s.Submit(&transport.Request{
+						Chunk: tiling.ChunkID{Tile: tiling.TileID(i + 200), Start: submitAt},
+						Bytes: 250_000, Deadline: submitAt + 1200*time.Millisecond,
+						Class: transport.ClassFoV, Urgent: true,
+						OnDone: func(d netem.Delivery, met bool) {
+							if met {
+								r.urgMet++
+							}
+						},
+					})
+				}
+			})
+		}
+		clock.Run()
+		return r
+	}
+
+	schedulers := []struct {
+		name  string
+		build func(c *sim.Clock, wifi, lte *netem.Path) transport.Scheduler
+	}{
+		{"wifi-only", func(c *sim.Clock, w, l *netem.Path) transport.Scheduler {
+			return transport.NewSinglePath(c, w)
+		}},
+		{"lte-only", func(c *sim.Clock, w, l *netem.Path) transport.Scheduler {
+			return transport.NewSinglePath(c, l)
+		}},
+		{"mptcp-like", func(c *sim.Clock, w, l *netem.Path) transport.Scheduler {
+			return multipath.NewMPTCPLike(c, w, l)
+		}},
+		{"content-aware", func(c *sim.Clock, w, l *netem.Path) transport.Scheduler {
+			ca := multipath.NewContentAware(c, w, l)
+			ca.DuplicateUrgent = true
+			return ca
+		}},
+	}
+	for _, sc := range schedulers {
+		r := run(sc.build)
+		fmt.Printf("%-16s %10d/%d %9d/%d %11d/%d\n",
+			sc.name, r.fovMet, r.fov, r.urgMet, r.urg, r.oosOK, r.oos)
+	}
+	fmt.Println("\ncontent-aware multipath keeps FoV chunks on the best path and duplicates")
+	fmt.Println("urgent ones across both (§3.3), so HMP corrections survive the WiFi collapse.")
+}

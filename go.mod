@@ -1,0 +1,3 @@
+module sperke
+
+go 1.22

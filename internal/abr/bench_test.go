@@ -1,0 +1,23 @@
+package abr
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkPlanOOS(b *testing.B) {
+	in := testOOSInput(b, 90)
+	pol := OOSPolicy{MaxRing: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PlanOOS(in, pol)
+	}
+}
+
+func BenchmarkMPCChoose(b *testing.B) {
+	alg := &MPC{}
+	ctx := testCtx(12e6, 4*time.Second, 10*time.Second, 3)
+	for i := 0; i < b.N; i++ {
+		alg.ChooseQuality(ctx)
+	}
+}

@@ -1,0 +1,72 @@
+package abr
+
+import (
+	"time"
+
+	"sperke/internal/hmp"
+	"sperke/internal/media"
+	"sperke/internal/sphere"
+	"sperke/internal/tiling"
+)
+
+// SuperChunk is §3.1.2 part one's unit: "the minimum number of chunks
+// that fully cover the corresponding FoV", all fetched at one quality
+// so the view looks uniform. Regular VRA algorithms operate on the
+// sequence of super chunks exactly as they would on a conventional
+// video's chunks.
+type SuperChunk struct {
+	// Interval is the temporal chunk index; Start its media time.
+	Interval int
+	Start    time.Duration
+	// Tiles is the covering tile set for the predicted FoV.
+	Tiles []tiling.TileID
+	// Prediction is the HMP output the cover was computed from; its
+	// radius drives the surrounding OOS plan (part two).
+	Prediction hmp.Prediction
+}
+
+// BuildSuperChunk covers the predicted FoV for one interval.
+func BuildSuperChunk(g tiling.Grid, p sphere.Projection, fov sphere.FoV,
+	pred hmp.Prediction, interval int, chunkDur time.Duration) SuperChunk {
+	return SuperChunk{
+		Interval:   interval,
+		Start:      time.Duration(interval) * chunkDur,
+		Tiles:      tiling.VisibleTiles(g, p, pred.View, fov),
+		Prediction: pred,
+	}
+}
+
+// SizeAt returns the fetch bytes of the super chunk at quality q for a
+// video — the SizeAt function VRA contexts consume.
+func (sc SuperChunk) SizeAt(v *media.Video, q int) int64 {
+	var sum int64
+	for _, id := range sc.Tiles {
+		sum += v.FetchBytes(q, id, sc.Start)
+	}
+	return sum
+}
+
+// Rate returns the super chunk's rate in bits/s at quality q.
+func (sc SuperChunk) Rate(v *media.Video, q int) float64 {
+	if v.ChunkDuration <= 0 {
+		return 0
+	}
+	return float64(sc.SizeAt(v, q)) * 8 / v.ChunkDuration.Seconds()
+}
+
+// BuildSequence covers a whole prediction window: one super chunk per
+// interval in [from, to), each from the predictor's forecast at that
+// interval's midpoint. This is the "sequence of super chunks" §3.1.2
+// reduces FoV-guided VRA to under perfect HMP.
+func BuildSequence(g tiling.Grid, p sphere.Projection, fov sphere.FoV,
+	predict func(at time.Duration) hmp.Prediction, chunkDur time.Duration, from, to int) []SuperChunk {
+	if to <= from {
+		return nil
+	}
+	out := make([]SuperChunk, 0, to-from)
+	for i := from; i < to; i++ {
+		mid := time.Duration(i)*chunkDur + chunkDur/2
+		out = append(out, BuildSuperChunk(g, p, fov, predict(mid), i, chunkDur))
+	}
+	return out
+}

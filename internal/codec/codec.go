@@ -1,0 +1,191 @@
+// Package codec models the client-side decoding hardware Sperke
+// schedules (§3.5): the parallel hardware H.264 decoders of commodity
+// phones (8 on a Samsung Galaxy S5, 16 on an S7), their throughput, and
+// the cloudlet transcoder that converts SVC chunks to AVC for devices
+// without hardware SVC decoders (§3.1.1).
+//
+// The model is deliberately simple — a decoder sustains a pixel rate and
+// each synchronous submission pays a fixed overhead — because that is
+// all Figure 5's three configurations differ in: whether decodes
+// serialize on the render thread, run in parallel across the pool, and
+// whether non-FoV tiles are rendered at all.
+package codec
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/sim"
+)
+
+// DecoderSpec is the throughput model of one hardware decoder.
+type DecoderSpec struct {
+	// PixelRate is the sustained decode rate in luma pixels/second.
+	PixelRate float64
+	// SubmitOverhead is the fixed cost of a synchronous submission
+	// (buffer setup, codec state switch). Asynchronous pipelines hide
+	// it behind the previous decode.
+	SubmitOverhead time.Duration
+}
+
+// DecodeTime returns the pure decode time for a frame of the given
+// pixel count, excluding submission overhead.
+func (d DecoderSpec) DecodeTime(pixels int64) time.Duration {
+	if pixels <= 0 || d.PixelRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(pixels) / d.PixelRate * float64(time.Second))
+}
+
+// SyncDecodeTime returns the wall time of a blocking decode: pure decode
+// plus submission overhead.
+func (d DecoderSpec) SyncDecodeTime(pixels int64) time.Duration {
+	return d.DecodeTime(pixels) + d.SubmitOverhead
+}
+
+// DeviceProfile describes a phone's decode and render capabilities.
+type DeviceProfile struct {
+	Name string
+	// HWDecoders is the number of hardware decoder instances the SoC
+	// exposes (§3.5: 8 for SGS5, 16 for SGS7).
+	HWDecoders int
+	Decoder    DecoderSpec
+	// RenderPixelRate is the GPU texture/composite rate in pixels/second
+	// for projecting and displaying tiles.
+	RenderPixelRate float64
+	// RenderOverhead is the fixed per-frame compositor cost.
+	RenderOverhead time.Duration
+	// MaxDisplayFPS caps the achievable frame rate (display refresh).
+	MaxDisplayFPS float64
+}
+
+// RenderTime returns the time to project and display the given number
+// of pixels in one frame.
+func (p DeviceProfile) RenderTime(pixels int64) time.Duration {
+	if p.RenderPixelRate <= 0 {
+		return p.RenderOverhead
+	}
+	return p.RenderOverhead + time.Duration(float64(pixels)/p.RenderPixelRate*float64(time.Second))
+}
+
+// Device profiles calibrated against the paper's §3.5 measurements
+// (2K video, 2×4 tiles on SGS7: 11 FPS unoptimized, 53 FPS with the
+// parallel-decode pipeline, 120 FPS rendering FoV only).
+var (
+	SGS7 = DeviceProfile{
+		Name:       "SGS7",
+		HWDecoders: 16,
+		Decoder: DecoderSpec{
+			PixelRate:      80e6,
+			SubmitOverhead: 3300 * time.Microsecond,
+		},
+		RenderPixelRate: 218e6,
+		RenderOverhead:  2 * time.Millisecond,
+		MaxDisplayFPS:   120,
+	}
+	SGS5 = DeviceProfile{
+		Name:       "SGS5",
+		HWDecoders: 8,
+		Decoder: DecoderSpec{
+			PixelRate:      48e6,
+			SubmitOverhead: 4500 * time.Microsecond,
+		},
+		RenderPixelRate: 130e6,
+		RenderOverhead:  3 * time.Millisecond,
+		MaxDisplayFPS:   60,
+	}
+)
+
+// Pool schedules decode jobs across n parallel decoder instances on the
+// sim clock — the "decoding scheduler" box of Fig. 4. Jobs go to the
+// earliest-free decoder.
+type Pool struct {
+	clock  *sim.Clock
+	spec   DecoderSpec
+	freeAt []time.Duration
+	jobs   int
+}
+
+// NewPool creates a pool of n decoders. n must be positive.
+func NewPool(clock *sim.Clock, spec DecoderSpec, n int) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("codec: pool size %d", n))
+	}
+	return &Pool{clock: clock, spec: spec, freeAt: make([]time.Duration, n)}
+}
+
+// Size returns the number of decoder instances.
+func (p *Pool) Size() int { return len(p.freeAt) }
+
+// JobsCompleted returns the number of finished decode jobs.
+func (p *Pool) JobsCompleted() int { return p.jobs }
+
+// Submit queues an asynchronous decode of the given pixels and calls
+// done (which may be nil) at its completion time. It returns the
+// completion time. The submission overhead is hidden by pipelining:
+// only pure decode time occupies the decoder.
+func (p *Pool) Submit(pixels int64, done func()) time.Duration {
+	now := p.clock.Now()
+	// Earliest-free decoder; ties break to the lowest index for
+	// determinism.
+	best := 0
+	for i, f := range p.freeAt {
+		if f < p.freeAt[best] {
+			best = i
+		}
+		_ = i
+	}
+	start := p.freeAt[best]
+	if start < now {
+		start = now
+	}
+	finish := start + p.spec.DecodeTime(pixels)
+	p.freeAt[best] = finish
+	p.clock.Schedule(finish, func() {
+		p.jobs++
+		if done != nil {
+			done()
+		}
+	})
+	return finish
+}
+
+// Backlog returns how far ahead of the clock the busiest decoder is
+// booked.
+func (p *Pool) Backlog() time.Duration {
+	now := p.clock.Now()
+	var max time.Duration
+	for _, f := range p.freeAt {
+		if f > now && f-now > max {
+			max = f - now
+		}
+	}
+	return max
+}
+
+// Transcoder models the cloudlet that converts SVC streams to AVC at
+// runtime so mobile GPUs can decode them (§3.1.1). It adds a fixed
+// processing latency plus a throughput-limited term.
+type Transcoder struct {
+	// Latency is the per-chunk base processing delay.
+	Latency time.Duration
+	// ByteRate is the transcode throughput in bytes/second.
+	ByteRate float64
+}
+
+// DefaultCloudlet is a LAN cloudlet doing faster-than-realtime
+// transcoding.
+var DefaultCloudlet = Transcoder{
+	Latency:  30 * time.Millisecond,
+	ByteRate: 50 << 20, // 50 MiB/s
+}
+
+// TranscodeTime returns how long converting a chunk of the given size
+// takes.
+func (t Transcoder) TranscodeTime(bytes int64) time.Duration {
+	d := t.Latency
+	if t.ByteRate > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / t.ByteRate * float64(time.Second))
+	}
+	return d
+}

@@ -1,0 +1,884 @@
+// Package core is Sperke itself: the FoV-guided adaptive streaming
+// session that ties the substrates together exactly as Fig. 4 sketches.
+// Head sensor samples feed the HMP predictor; the fetching scheduler
+// turns predictions into super chunks, OOS rings and upgrade decisions
+// (§3.1); the transport scheduler moves them over one or more network
+// paths (§3.3); and the playback stage renders whatever arrived,
+// accounting QoE.
+//
+// The session runs on the deterministic simulation clock, so identical
+// configurations reproduce identical reports — the property every
+// experiment in EXPERIMENTS.md relies on.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/abr"
+	"sperke/internal/codec"
+	"sperke/internal/hmp"
+	"sperke/internal/media"
+	"sperke/internal/netem"
+	"sperke/internal/player"
+	"sperke/internal/qoe"
+	"sperke/internal/sim"
+	"sperke/internal/sphere"
+	"sperke/internal/tiling"
+	"sperke/internal/trace"
+	"sperke/internal/transport"
+)
+
+// StreamMode selects the delivery strategy.
+type StreamMode int
+
+// Modes.
+const (
+	// FoVGuided fetches the predicted FoV at high quality plus OOS rings
+	// — Sperke's approach.
+	FoVGuided StreamMode = iota
+	// FoVAgnostic always fetches the full panorama — today's YouTube/
+	// Facebook behaviour the paper contrasts against (§2).
+	FoVAgnostic
+)
+
+func (m StreamMode) String() string {
+	if m == FoVAgnostic {
+		return "fov-agnostic"
+	}
+	return "fov-guided"
+}
+
+// Config describes one streaming session.
+type Config struct {
+	Video      *media.Video
+	Projection sphere.Projection
+	FoV        sphere.FoV
+	Mode       StreamMode
+	// Algorithm is the regular VRA applied to super chunks (§3.1.2 part
+	// one); nil defaults to Throughput.
+	Algorithm abr.Algorithm
+	// OOS parameterizes out-of-sight fetching (part two).
+	OOS abr.OOSPolicy
+	// EnableUpgrades turns on incremental chunk upgrades (part three);
+	// Upgrades tunes them.
+	EnableUpgrades bool
+	Upgrades       abr.UpgradePolicy
+	// HybridSVC enables the §3.1.2 closing extension on an SVC video:
+	// the server keeps both SVC and AVC forms of every chunk, and each
+	// fetch picks the cheaper expected encoding — AVC for chunks
+	// unlikely to be upgraded (dodging the SVC overhead), SVC where an
+	// upgrade is probable.
+	HybridSVC bool
+	// NewPredictor builds the HMP; nil defaults to linear regression.
+	NewPredictor func() hmp.Predictor
+	// Heatmap, if set, informs OOS selection with crowd statistics
+	// (§3.2).
+	Heatmap *hmp.Heatmap
+	// SpeedBound, if positive, prunes unreachable OOS tiles (§3.2).
+	SpeedBound float64
+	// BandwidthBudget, if positive, caps the session's planned rate in
+	// bits/s — §3.1.2's "bandwidth budget configured by the user", e.g.
+	// a metered cellular plan. The FoV super chunk is planned within it
+	// and OOS fetching spends only what remains.
+	BandwidthBudget float64
+	// PredictionWindow bounds prefetching: content further ahead than
+	// this is not planned (HMP has nothing to say about it). Zero
+	// defaults to 2 s.
+	PredictionWindow time.Duration
+	// MaxStall caps one rebuffering wait; after it the interval plays
+	// with blank tiles. Zero defaults to 10 s.
+	MaxStall time.Duration
+	// Cloudlet, when set on an SVC video, models the §3.1.1 offloading
+	// path: phones lack hardware SVC decoders, so a nearby cloudlet
+	// transcodes each delivered SVC chunk to AVC before the player can
+	// decode it, adding its processing time to every delivery.
+	Cloudlet *codec.Transcoder
+	// Device, when set, simulates the client decode stage of Fig. 4:
+	// delivered chunks pass through the device's hardware decoder pool
+	// into the decoded-frame cache before playback; a tile reaching its
+	// play time undecoded costs a synchronous re-decode hiccup (§3.5).
+	Device *codec.DeviceProfile
+	// Decoders bounds the parallel decoder count when Device is set;
+	// 0 uses min(8, the device's hardware decoders).
+	Decoders int
+	// Observer, when set, receives a structured Event for every step of
+	// the session — planning, fetches, upgrades, plays, stalls — for
+	// timelines and debugging. Called synchronously on the sim clock.
+	Observer func(Event)
+	// EncodedCacheBytes bounds the main-memory encoded-chunk cache of
+	// Fig. 4. Chunks evicted before they play are lost and must be
+	// rushed again at play time. 0 means unlimited.
+	EncodedCacheBytes int64
+}
+
+func (c *Config) withDefaults() error {
+	if c.Video == nil {
+		return fmt.Errorf("core: config has no video")
+	}
+	if err := c.Video.Validate(); err != nil {
+		return err
+	}
+	if c.Projection == nil {
+		c.Projection = sphere.Equirectangular{}
+	}
+	if c.FoV == (sphere.FoV{}) {
+		c.FoV = sphere.DefaultFoV
+	}
+	if c.Algorithm == nil {
+		c.Algorithm = &abr.Throughput{}
+	}
+	if c.NewPredictor == nil {
+		c.NewPredictor = func() hmp.Predictor { return &hmp.LinearRegression{} }
+	}
+	if c.PredictionWindow <= 0 {
+		c.PredictionWindow = 2 * time.Second
+	}
+	if c.MaxStall <= 0 {
+		c.MaxStall = 10 * time.Second
+	}
+	return nil
+}
+
+// Report is the outcome of a session.
+type Report struct {
+	QoE qoe.Metrics
+	// BytesFetched is total wire usage; BytesWasted the share never
+	// rendered.
+	BytesFetched, BytesWasted int64
+	// Upgrades counts incremental upgrades executed; UpgradesDeferred
+	// and UpgradesSkipped the other outcomes (§3.1.2 part three).
+	Upgrades, UpgradesDeferred, UpgradesSkipped int
+	// UrgentFetches counts HMP corrections that needed a rush fetch
+	// (Table 1 "urgent chunks").
+	UrgentFetches int
+	// SyncRedecodes counts tiles that reached their play time before the
+	// decode pipeline finished them (§3.5); SyncRedecodeTime is the
+	// render hiccup they cost.
+	SyncRedecodes    int
+	SyncRedecodeTime time.Duration
+	// HybridAVCFetches and HybridSVCFetches count per-chunk encoding
+	// decisions in hybrid sessions (§3.1.2 extension).
+	HybridAVCFetches, HybridSVCFetches int
+	// StartupDelay is the time before the first frame.
+	StartupDelay time.Duration
+}
+
+// tileState tracks one (interval, tile) download.
+type tileState struct {
+	quality int // -1 = not downloaded
+	bytes   int64
+	pending bool // a fetch or upgrade is in flight
+	// enc is the encoding the tile was fetched in (hybrid sessions mix
+	// them; otherwise it is the video's encoding).
+	enc media.Encoding
+}
+
+// Session drives one playback. Create with NewSession, run with Run.
+type Session struct {
+	clock *sim.Clock
+	cfg   Config
+	head  *trace.HeadTrace
+	sched transport.Scheduler
+
+	col       qoe.Collector
+	est       netem.ThroughputEstimator
+	predictor hmp.Predictor
+	fedIdx    int
+
+	pool   *codec.Pool
+	fcache *player.FrameCache
+	dsched *player.DecodeScheduler
+	ccache *player.ChunkCache
+
+	state       map[int]map[tiling.TileID]*tileState
+	planned     map[int]bool
+	fovQuality  map[int]int
+	visibleEver map[int]map[tiling.TileID]bool
+
+	playIdx      int
+	nextPlayWall time.Duration
+	started      bool
+	ran          bool
+
+	rep Report
+}
+
+// NewSession builds a session. head is the viewer's actual head
+// movement; sched delivers chunk requests (single-path or multipath).
+func NewSession(clock *sim.Clock, cfg Config, head *trace.HeadTrace, sched transport.Scheduler) (*Session, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if head == nil {
+		return nil, fmt.Errorf("core: session needs a head trace")
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("core: session needs a transport scheduler")
+	}
+	s := &Session{
+		clock:       clock,
+		cfg:         cfg,
+		head:        head,
+		sched:       sched,
+		est:         &netem.HarmonicMean{},
+		predictor:   cfg.NewPredictor(),
+		state:       make(map[int]map[tiling.TileID]*tileState),
+		planned:     make(map[int]bool),
+		fovQuality:  make(map[int]int),
+		visibleEver: make(map[int]map[tiling.TileID]bool),
+	}
+	if cfg.EncodedCacheBytes > 0 {
+		s.ccache = player.NewChunkCache(cfg.EncodedCacheBytes)
+	}
+	if cfg.Device != nil {
+		n := cfg.Decoders
+		if n <= 0 {
+			n = 8
+		}
+		if n > cfg.Device.HWDecoders {
+			n = cfg.Device.HWDecoders
+		}
+		s.pool = codec.NewPool(clock, cfg.Device.Decoder, n)
+		s.fcache = player.NewFrameCache(4 * cfg.Video.Grid.Tiles())
+		s.dsched = player.NewDecodeScheduler(clock, s.pool, s.fcache)
+	}
+	return s, nil
+}
+
+// tilePixels returns one tile's luma pixels at a ladder quality.
+func (s *Session) tilePixels(q int) int64 {
+	if q < 0 || q >= len(s.cfg.Video.Ladder) {
+		return 0
+	}
+	return int64(s.cfg.Video.Ladder[q].Pixels() / s.cfg.Video.Grid.Tiles())
+}
+
+// submitDecode queues a delivered tile chunk for decoding (Fig. 4's
+// decoding scheduler); a no-op when no device is configured.
+func (s *Session) submitDecode(i int, id tiling.TileID, q int, inFoV bool) {
+	if s.dsched == nil {
+		return
+	}
+	s.dsched.Submit(player.DecodeJob{
+		Key:    player.FrameCacheKey{Tile: id, Interval: i, Quality: q},
+		Pixels: s.tilePixels(q),
+		PlayAt: s.deadlineWall(i),
+		InFoV:  inFoV,
+	})
+}
+
+// Run plays the whole video and returns the report. It drives the
+// clock until the session completes. A session runs once; further
+// calls return the same report.
+func (s *Session) Run() Report {
+	if s.ran {
+		return s.rep
+	}
+	s.ran = true
+	s.nextPlayWall = 0
+	s.schedulePlanner()
+	s.clock.Schedule(s.clock.Now(), func() { s.playInterval(0, s.clock.Now()) })
+	s.clock.Run()
+	s.accountWaste()
+	s.rep.QoE = s.col.Metrics()
+	return s.rep
+}
+
+// ---- bookkeeping helpers ----
+
+func (s *Session) tile(i int, id tiling.TileID) *tileState {
+	m, ok := s.state[i]
+	if !ok {
+		m = make(map[tiling.TileID]*tileState)
+		s.state[i] = m
+	}
+	ts, ok := m[id]
+	if !ok {
+		ts = &tileState{quality: -1, enc: s.cfg.Video.Encoding}
+		m[id] = ts
+	}
+	return ts
+}
+
+// feedPredictor delivers head samples up to virtual now.
+func (s *Session) feedPredictor() {
+	now := s.clock.Now()
+	for s.fedIdx < len(s.head.Samples) && s.head.Samples[s.fedIdx].At <= now {
+		s.predictor.Observe(s.head.Samples[s.fedIdx])
+		s.fedIdx++
+	}
+}
+
+// deadlineWall projects the wall time interval i will start playing.
+func (s *Session) deadlineWall(i int) time.Duration {
+	ahead := i - s.playIdx
+	if ahead < 0 {
+		ahead = 0
+	}
+	return s.nextPlayWall + time.Duration(ahead)*s.cfg.Video.ChunkDuration
+}
+
+// bufferLevel estimates playable content ahead of the playhead:
+// consecutive planned intervals whose FoV tiles all arrived.
+func (s *Session) bufferLevel() time.Duration {
+	n := 0
+	for i := s.playIdx; i < s.cfg.Video.NumChunks(); i++ {
+		if !s.intervalReady(i) {
+			break
+		}
+		n++
+	}
+	return time.Duration(n) * s.cfg.Video.ChunkDuration
+}
+
+// intervalReady reports whether all planned FoV tiles of interval i are
+// downloaded.
+func (s *Session) intervalReady(i int) bool {
+	if !s.planned[i] {
+		return false
+	}
+	for _, ts := range s.state[i] {
+		if ts.pending && ts.quality < 0 {
+			return false
+		}
+	}
+	// At least one tile must exist (planning always creates some).
+	return len(s.state[i]) > 0
+}
+
+// ---- planning (the fetching scheduler of Fig. 4) ----
+
+func (s *Session) schedulePlanner() {
+	const tick = 250 * time.Millisecond
+	var loop func()
+	loop = func() {
+		if s.playIdx >= s.cfg.Video.NumChunks() {
+			return // session over
+		}
+		s.planAhead()
+		if s.cfg.EnableUpgrades && s.cfg.Mode == FoVGuided {
+			s.checkUpgrades()
+		}
+		s.clock.After(tick, loop)
+	}
+	s.clock.Schedule(s.clock.Now(), loop)
+}
+
+// planAhead plans every unplanned interval starting within the
+// prediction window.
+func (s *Session) planAhead() {
+	v := s.cfg.Video
+	now := s.clock.Now()
+	for i := s.playIdx; i < v.NumChunks(); i++ {
+		if s.planned[i] {
+			continue
+		}
+		deadline := s.deadlineWall(i)
+		if deadline > now+s.cfg.PredictionWindow+v.ChunkDuration {
+			break
+		}
+		s.planInterval(i, deadline)
+	}
+}
+
+func (s *Session) planInterval(i int, deadline time.Duration) {
+	v := s.cfg.Video
+	s.planned[i] = true
+	contentMid := v.ChunkStart(i) + v.ChunkDuration/2
+
+	s.feedPredictor()
+	// The predictor is asked for the view at the interval's projected
+	// wall deadline: while playback is realtime, wall time and content
+	// time advance together, so this is the head position when the
+	// interval displays.
+	pred := s.predictor.Predict(deadline)
+
+	var fovTiles []tiling.TileID
+	if s.cfg.Mode == FoVAgnostic {
+		for t := tiling.TileID(0); int(t) < v.Grid.Tiles(); t++ {
+			fovTiles = append(fovTiles, t)
+		}
+	} else {
+		sc := abr.BuildSuperChunk(v.Grid, s.cfg.Projection, s.cfg.FoV, pred, i, v.ChunkDuration)
+		fovTiles = sc.Tiles
+	}
+
+	// Part one: regular VRA over the super chunk.
+	effectiveBW := s.est.Estimate()
+	if s.cfg.BandwidthBudget > 0 && (effectiveBW == 0 || s.cfg.BandwidthBudget < effectiveBW) {
+		effectiveBW = s.cfg.BandwidthBudget
+	}
+	ctx := abr.Context{
+		EstimatedBandwidth: effectiveBW,
+		Buffer:             s.bufferLevel(),
+		MaxBuffer:          s.cfg.PredictionWindow,
+		ChunkDuration:      v.ChunkDuration,
+		Ladder:             v.Ladder,
+		LastQuality:        s.lastQuality(i),
+		SizeAt: func(q int) int64 {
+			var sum int64
+			for _, id := range fovTiles {
+				sum += v.FetchBytes(q, id, v.ChunkStart(i))
+			}
+			return sum
+		},
+	}
+	q := s.cfg.Algorithm.ChooseQuality(ctx)
+	s.fovQuality[i] = q
+	s.emit(EventPlanned, i, -1, q, 0, 0)
+
+	for _, id := range fovTiles {
+		s.submitFetch(i, id, q, transport.ClassFoV, false, 1.0, deadline)
+	}
+
+	// Part two: OOS rings (FoV-guided only). Under a user bandwidth
+	// budget, OOS fetching spends only what the FoV left over.
+	if s.cfg.Mode == FoVGuided {
+		oosPolicy := s.cfg.OOS
+		if s.cfg.BandwidthBudget > 0 {
+			var fovBytes int64
+			for _, id := range fovTiles {
+				fovBytes += v.FetchBytes(q, id, v.ChunkStart(i))
+			}
+			remaining := int64(s.cfg.BandwidthBudget*v.ChunkDuration.Seconds()/8) - fovBytes
+			if remaining < 0 {
+				remaining = 1 // poorest-effort OOS: effectively nothing fits
+			}
+			if oosPolicy.BudgetBytes == 0 || remaining < oosPolicy.BudgetBytes {
+				oosPolicy.BudgetBytes = remaining
+			}
+		}
+		plan := abr.PlanOOS(abr.OOSInput{
+			Grid:       v.Grid,
+			Projection: s.cfg.Projection,
+			FoVTiles:   fovTiles,
+			FoVQuality: q,
+			Prediction: pred,
+			FoV:        s.cfg.FoV,
+			Heatmap:    s.cfg.Heatmap,
+			At:         contentMid,
+			SpeedBound: s.cfg.SpeedBound,
+			TimeToPlay: deadline - s.clock.Now(),
+			SizeAt: func(tile tiling.TileID, qq int) int64 {
+				return v.FetchBytes(qq, tile, v.ChunkStart(i))
+			},
+		}, oosPolicy)
+		for _, tq := range plan {
+			s.submitFetch(i, tq.Tile, tq.Quality, transport.ClassOOS, false, tq.Probability, deadline)
+		}
+	}
+}
+
+// lastQuality returns the most recent planned FoV quality before i, or
+// -1.
+func (s *Session) lastQuality(i int) int {
+	for j := i - 1; j >= 0 && j >= i-3; j-- {
+		if q, ok := s.fovQuality[j]; ok {
+			return q
+		}
+	}
+	return -1
+}
+
+// fetchCost returns the bytes to fetch a fresh tile-chunk at quality q
+// in a given encoding (hybrid sessions mix encodings per chunk).
+func (s *Session) fetchCost(enc media.Encoding, q int, id tiling.TileID, start time.Duration) int64 {
+	v := s.cfg.Video
+	if enc == media.EncodingSVC {
+		return v.CumulativeLayerBytes(q, id, start)
+	}
+	return v.ChunkBytes(q, id, start)
+}
+
+// upgradeCost returns the bytes to raise a fetched tile-chunk from
+// quality `from` to `to` given the encoding it was fetched in.
+func (s *Session) upgradeCost(enc media.Encoding, from, to int, id tiling.TileID, start time.Duration) int64 {
+	v := s.cfg.Video
+	if to <= from {
+		return 0
+	}
+	if enc == media.EncodingSVC {
+		return v.CumulativeLayerBytes(to, id, start) - v.CumulativeLayerBytes(from, id, start)
+	}
+	return v.ChunkBytes(to, id, start)
+}
+
+// pickEncoding chooses the per-chunk encoding: the video's own in plain
+// sessions; the cheaper expected form in hybrid sessions (§3.1.2),
+// using the tile's display/upgrade probability.
+func (s *Session) pickEncoding(q int, id tiling.TileID, start time.Duration,
+	class transport.Class, prob float64) media.Encoding {
+	v := s.cfg.Video
+	if !s.cfg.HybridSVC || v.Encoding != media.EncodingSVC || s.cfg.Mode != FoVGuided {
+		return v.Encoding
+	}
+	// FoV tiles rarely upgrade (they are already at target); OOS tiles
+	// upgrade exactly when they drift into view, i.e. with their display
+	// probability.
+	upgradeProb := 0.1
+	if class == transport.ClassOOS {
+		upgradeProb = prob
+	}
+	to := q + 2
+	if to >= v.Qualities() {
+		to = v.Qualities() - 1
+	}
+	enc := abr.HybridChoice(upgradeProb,
+		s.fetchCost(media.EncodingAVC, q, id, start),
+		s.fetchCost(media.EncodingSVC, q, id, start),
+		s.upgradeCost(media.EncodingAVC, q, to, id, start),
+		s.upgradeCost(media.EncodingSVC, q, to, id, start))
+	if enc == media.EncodingAVC {
+		s.rep.HybridAVCFetches++
+	} else {
+		s.rep.HybridSVCFetches++
+	}
+	return enc
+}
+
+func (s *Session) submitFetch(i int, id tiling.TileID, q int, class transport.Class,
+	urgent bool, prob float64, deadline time.Duration) {
+	v := s.cfg.Video
+	ts := s.tile(i, id)
+	if ts.pending || ts.quality >= q {
+		return
+	}
+	ts.pending = true
+	start := v.ChunkStart(i)
+	enc := s.pickEncoding(q, id, start, class, prob)
+	bytes := s.fetchCost(enc, q, id, start)
+	if bytes <= 0 {
+		ts.pending = false
+		return
+	}
+	if urgent {
+		s.rep.UrgentFetches++
+		s.emit(EventUrgent, i, id, q, bytes, 0)
+	}
+	s.sched.Submit(&transport.Request{
+		Chunk:       tiling.ChunkID{Quality: q, Tile: id, Start: v.ChunkStart(i)},
+		Bytes:       bytes,
+		Deadline:    deadline,
+		Class:       class,
+		Urgent:      urgent,
+		Probability: prob,
+		OnDone: func(d netem.Delivery, met bool) {
+			ts.pending = false
+			s.est.Add(d.Throughput())
+			s.rep.BytesFetched += d.Bytes
+			s.col.Fetched(d.Bytes)
+			if !d.OK {
+				s.col.Wasted(d.Bytes)
+				s.rep.BytesWasted += d.Bytes
+				s.emit(EventDropped, i, id, q, d.Bytes, 0)
+				return // best-effort loss: tile stays at its old quality
+			}
+			s.emit(EventFetched, i, id, q, d.Bytes, 0)
+			s.afterTranscode(d.Bytes, func() {
+				if q > ts.quality {
+					ts.quality = q
+					ts.bytes += d.Bytes
+					ts.enc = enc
+					if s.ccache != nil {
+						s.ccache.Put(tiling.ChunkID{Quality: q, Tile: id, Start: v.ChunkStart(i)}, d.Bytes)
+					}
+					s.submitDecode(i, id, q, class == transport.ClassFoV)
+				}
+			})
+		},
+	})
+}
+
+// ---- part three: incremental upgrades ----
+
+func (s *Session) checkUpgrades() {
+	v := s.cfg.Video
+	now := s.clock.Now()
+	s.feedPredictor()
+	horizon := 2 * v.ChunkDuration
+	for i := s.playIdx; i < v.NumChunks(); i++ {
+		deadline := s.deadlineWall(i)
+		if deadline <= now {
+			continue
+		}
+		if deadline > now+horizon {
+			break
+		}
+		if !s.planned[i] {
+			continue
+		}
+		pred := s.predictor.Predict(deadline)
+		target := s.fovQuality[i]
+		prob := 1 - pred.Radius/120
+		if prob < 0.05 {
+			prob = 0.05
+		}
+		if prob > 0.99 {
+			prob = 0.99
+		}
+		for _, id := range tiling.VisibleTiles(v.Grid, s.cfg.Projection, pred.View, s.cfg.FoV) {
+			ts := s.tile(i, id)
+			if ts.pending {
+				continue
+			}
+			if ts.quality < 0 {
+				// HMP correction: a tile we never fetched is now expected
+				// in view — rush it at base-or-better quality (Table 1
+				// urgent chunk).
+				q := target - 1
+				if q < 0 {
+					q = 0
+				}
+				s.submitFetch(i, id, q, transport.ClassFoV, true, prob, deadline)
+				continue
+			}
+			if ts.quality >= target {
+				continue
+			}
+			req := abr.UpgradeRequest{
+				Encoding:           ts.enc,
+				BytesNeeded:        s.upgradeCost(ts.enc, ts.quality, target, id, v.ChunkStart(i)),
+				TimeToDeadline:     deadline - now,
+				DisplayProbability: prob,
+				QualityGain:        target - ts.quality,
+			}
+			switch abr.DecideUpgrade(req, s.est.Estimate(), s.cfg.Upgrades) {
+			case abr.UpgradeNow:
+				s.executeUpgrade(i, id, ts, target, deadline)
+			case abr.UpgradeDefer:
+				s.rep.UpgradesDeferred++
+			case abr.UpgradeSkip:
+				s.rep.UpgradesSkipped++
+			}
+		}
+	}
+}
+
+func (s *Session) executeUpgrade(i int, id tiling.TileID, ts *tileState, target int, deadline time.Duration) {
+	v := s.cfg.Video
+	bytes := s.upgradeCost(ts.enc, ts.quality, target, id, v.ChunkStart(i))
+	if bytes <= 0 {
+		return
+	}
+	if ts.enc == media.EncodingAVC {
+		// The AVC re-fetch makes the previously downloaded bytes waste —
+		// the §3.1.1 mismatch.
+		s.col.Wasted(ts.bytes)
+		s.rep.BytesWasted += ts.bytes
+		ts.bytes = 0
+	}
+	ts.pending = true
+	urgent := deadline-s.clock.Now() < v.ChunkDuration
+	s.sched.Submit(&transport.Request{
+		Chunk:    tiling.ChunkID{Quality: target, Tile: id, Start: v.ChunkStart(i)},
+		Bytes:    bytes,
+		Deadline: deadline,
+		Class:    transport.ClassFoV,
+		Urgent:   urgent,
+		OnDone: func(d netem.Delivery, met bool) {
+			ts.pending = false
+			s.est.Add(d.Throughput())
+			s.rep.BytesFetched += d.Bytes
+			s.col.Fetched(d.Bytes)
+			if d.OK {
+				s.emit(EventUpgraded, i, id, target, d.Bytes, 0)
+				s.afterTranscode(d.Bytes, func() {
+					ts.quality = target
+					ts.bytes += d.Bytes
+					s.rep.Upgrades++
+					s.submitDecode(i, id, target, true)
+				})
+			}
+		},
+	})
+}
+
+// ---- playback ----
+
+func (s *Session) playInterval(i int, stallSince time.Duration) {
+	v := s.cfg.Video
+	if i >= v.NumChunks() {
+		s.clock.Halt()
+		return
+	}
+	now := s.clock.Now()
+	view := s.head.At(now)
+	visible := tiling.VisibleTiles(v.Grid, s.cfg.Projection, view, s.cfg.FoV)
+
+	missing := 0
+	for _, id := range visible {
+		st, ok := s.state[i][id]
+		if ok && st.quality >= 0 && s.ccache != nil {
+			// The encoded copy must still be resident in main memory: a
+			// budget eviction throws the download away (Fig. 4).
+			cid := tiling.ChunkID{Quality: st.quality, Tile: id, Start: v.ChunkStart(i)}
+			if !s.ccache.Has(cid) {
+				s.col.Wasted(st.bytes)
+				s.rep.BytesWasted += st.bytes
+				st.quality = -1
+				st.bytes = 0
+				ok = false
+			}
+		}
+		if !ok || st.quality < 0 {
+			if st == nil || !st.pending {
+				// Rush the gap at base quality.
+				s.submitFetch(i, id, 0, transport.ClassFoV, true, 1, now)
+			}
+			missing++
+		}
+	}
+	stalledFor := now - stallSince
+	if missing > 0 && stalledFor < s.cfg.MaxStall {
+		// Wait for the urgent fetches; re-check shortly.
+		s.clock.After(100*time.Millisecond, func() { s.playInterval(i, stallSince) })
+		return
+	}
+
+	// Decode stage (§3.5): tiles that arrived but have not cleared the
+	// decoder pool by play time are decoded synchronously, delaying the
+	// frame — the hiccup the decoded-frame cache exists to avoid.
+	if s.fcache != nil {
+		var redecode time.Duration
+		for _, id := range visible {
+			st := s.state[i][id]
+			if st == nil || st.quality < 0 {
+				continue
+			}
+			key := player.FrameCacheKey{Tile: id, Interval: i, Quality: st.quality}
+			if !s.fcache.Has(key) {
+				redecode += s.cfg.Device.Decoder.SyncDecodeTime(s.tilePixels(st.quality))
+				s.fcache.Put(key) // decoded now, synchronously
+				s.rep.SyncRedecodes++
+			}
+		}
+		if redecode > 0 {
+			s.rep.SyncRedecodeTime += redecode
+			s.col.Stall(redecode)
+			s.clock.After(redecode, func() { s.playInterval(i, s.clock.Now()) })
+			return
+		}
+	}
+
+	// Account the wait.
+	if stalledFor > 0 {
+		if !s.started {
+			s.rep.StartupDelay = now
+		} else {
+			s.col.Stall(stalledFor)
+			s.emit(EventStall, i, -1, 0, 0, stalledFor)
+		}
+	}
+	s.started = true
+	s.playIdx = i
+	s.nextPlayWall = now + v.ChunkDuration
+
+	// Render: per-tile qualities and bitrate over the visible tiles.
+	var bits float64
+	var shownQ []int
+	blanks := 0
+	for _, id := range visible {
+		st := s.state[i][id]
+		if st == nil || st.quality < 0 {
+			blanks++
+			continue
+		}
+		shownQ = append(shownQ, st.quality)
+		bits += float64(st.bytes) * 8 / v.ChunkDuration.Seconds()
+	}
+	meanQ := 0.0
+	for _, q := range shownQ {
+		meanQ += float64(q)
+	}
+	if len(shownQ) > 0 {
+		meanQ /= float64(len(shownQ))
+	}
+	playDur := s.playDur(i)
+	s.emit(EventPlay, i, -1, int(meanQ+0.5), 0, playDur)
+	if len(shownQ) > 0 {
+		s.col.PlayTiles(playDur, shownQ, bits)
+	} else {
+		// An entirely blank FoV still consumes play time (at quality 0).
+		s.col.Play(playDur, 0, 0)
+	}
+	if blanks > 0 && len(visible) > 0 {
+		s.col.Blank(playDur * time.Duration(blanks) / time.Duration(len(visible)))
+	}
+
+	// Waste accounting input: every tile visible at any of four probe
+	// points during the play span counts as rendered.
+	ever, ok := s.visibleEver[i]
+	if !ok {
+		ever = make(map[tiling.TileID]bool)
+		s.visibleEver[i] = ever
+	}
+	for k := 0; k < 4; k++ {
+		probe := now + time.Duration(k)*v.ChunkDuration/4
+		for _, id := range tiling.VisibleTiles(v.Grid, s.cfg.Projection, s.head.At(probe), s.cfg.FoV) {
+			ever[id] = true
+		}
+	}
+
+	if s.ccache != nil {
+		for id, st := range s.state[i] {
+			if st.quality >= 0 {
+				s.ccache.Remove(tiling.ChunkID{Quality: st.quality, Tile: id, Start: v.ChunkStart(i)})
+			}
+		}
+	}
+	s.clock.Schedule(s.nextPlayWall, func() { s.playInterval(i+1, s.nextPlayWall) })
+}
+
+// afterTranscode runs fn once the chunk is decodable: immediately for
+// AVC content, after the cloudlet's SVC→AVC transcoding delay when the
+// §3.1.1 offloading path is configured.
+func (s *Session) afterTranscode(bytes int64, fn func()) {
+	if s.cfg.Cloudlet == nil || s.cfg.Video.Encoding != media.EncodingSVC {
+		fn()
+		return
+	}
+	s.clock.After(s.cfg.Cloudlet.TranscodeTime(bytes), fn)
+}
+
+// playDur is the actual play duration of interval i (the final
+// interval may be partial).
+func (s *Session) playDur(i int) time.Duration {
+	v := s.cfg.Video
+	start := v.ChunkStart(i)
+	if start+v.ChunkDuration > v.Duration {
+		return v.Duration - start
+	}
+	return v.ChunkDuration
+}
+
+// accountWaste charges every fetched-but-never-rendered byte after the
+// session.
+func (s *Session) accountWaste() {
+	for i, tiles := range s.state {
+		ever := s.visibleEver[i]
+		for id, ts := range tiles {
+			if ts.bytes == 0 {
+				continue
+			}
+			if ever == nil || !ever[id] {
+				s.col.Wasted(ts.bytes)
+				s.rep.BytesWasted += ts.bytes
+			}
+		}
+	}
+}
+
+// DebugQualities exposes the per-interval planned FoV quality for
+// debugging and tests.
+func DebugQualities(s *Session) []int {
+	out := make([]int, s.cfg.Video.NumChunks())
+	for i := range out {
+		q, ok := s.fovQuality[i]
+		if !ok {
+			q = -1
+		}
+		out[i] = q
+	}
+	return out
+}

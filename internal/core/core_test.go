@@ -1,0 +1,690 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sperke/internal/abr"
+	"sperke/internal/codec"
+	"sperke/internal/hmp"
+	"sperke/internal/media"
+	"sperke/internal/multipath"
+	"sperke/internal/netem"
+	"sperke/internal/sim"
+	"sperke/internal/sphere"
+	"sperke/internal/tiling"
+	"sperke/internal/trace"
+	"sperke/internal/transport"
+)
+
+func testVideo(enc media.Encoding) *media.Video {
+	return &media.Video{
+		ID:             "session-test",
+		Duration:       30 * time.Second,
+		ChunkDuration:  2 * time.Second,
+		Grid:           tiling.GridCellular,
+		ProjectionName: "equirectangular",
+		Ladder:         media.DefaultLadder,
+		Encoding:       enc,
+	}
+}
+
+func testHead(seed int64, dur time.Duration) *trace.HeadTrace {
+	rng := rand.New(rand.NewSource(seed))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(seed+500)), dur)
+	return trace.Generate(rng, trace.UserProfile{ID: "u", SpeedScale: 1}, att, dur)
+}
+
+// runSession executes a session over a single constant-rate path.
+func runSession(t *testing.T, cfg Config, bps float64, seed int64) Report {
+	t.Helper()
+	clock := sim.NewClock(seed)
+	path := netem.NewPath(clock, "net", netem.Constant(bps), 20*time.Millisecond, 0)
+	sched := transport.NewSinglePath(clock, path)
+	head := testHead(seed, cfg.Video.Duration+10*time.Second)
+	s, err := NewSession(clock, cfg, head, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+func TestSessionPlaysWholeVideo(t *testing.T) {
+	rep := runSession(t, Config{Video: testVideo(media.EncodingAVC)}, 20e6, 1)
+	if rep.QoE.PlayTime != 30*time.Second {
+		t.Fatalf("PlayTime = %v, want full 30s", rep.QoE.PlayTime)
+	}
+	if rep.BytesFetched == 0 {
+		t.Fatal("nothing fetched")
+	}
+	if rep.QoE.MeanQuality() <= 0 {
+		t.Fatal("zero mean quality on a fat link")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	clock := sim.NewClock(1)
+	path := netem.NewPath(clock, "p", nil, 0, 0)
+	sched := transport.NewSinglePath(clock, path)
+	if _, err := NewSession(clock, Config{}, testHead(1, time.Second), sched); err == nil {
+		t.Fatal("config without video accepted")
+	}
+	if _, err := NewSession(clock, Config{Video: testVideo(media.EncodingAVC)}, nil, sched); err == nil {
+		t.Fatal("nil head accepted")
+	}
+	if _, err := NewSession(clock, Config{Video: testVideo(media.EncodingAVC)}, testHead(1, time.Second), nil); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+}
+
+func TestFoVGuidedSavesVsAgnostic(t *testing.T) {
+	// The §2 headline: at equal quality, FoV-guided fetches far fewer
+	// bytes. [16] reports ~45%, [37] 60–80% savings. Quality is held
+	// fixed so the byte comparison is apples to apples.
+	alg := func() *abr.Fixed { return &abr.Fixed{Q: 4} }
+	guided := runSession(t, Config{Video: testVideo(media.EncodingAVC), Mode: FoVGuided, Algorithm: alg()}, 20e6, 3)
+	agnostic := runSession(t, Config{Video: testVideo(media.EncodingAVC), Mode: FoVAgnostic, Algorithm: alg()}, 20e6, 3)
+	if guided.BytesFetched >= agnostic.BytesFetched {
+		t.Fatalf("guided fetched %d ≥ agnostic %d", guided.BytesFetched, agnostic.BytesFetched)
+	}
+	saving := 1 - float64(guided.BytesFetched)/float64(agnostic.BytesFetched)
+	if saving < 0.2 {
+		t.Fatalf("saving only %.0f%%, expected ≥20%% with default (conservative) OOS", saving*100)
+	}
+	// Quality in the FoV must not collapse.
+	if guided.QoE.MeanQuality() < agnostic.QoE.MeanQuality()-1.5 {
+		t.Fatalf("guided quality %.2f collapsed vs agnostic %.2f",
+			guided.QoE.MeanQuality(), agnostic.QoE.MeanQuality())
+	}
+	// An aggressive OOS policy (thin ring, steep falloff) reaches the
+	// savings band prior tile-based systems report (45% [16], 60–80%
+	// [37]).
+	aggressive := runSession(t, Config{
+		Video:     testVideo(media.EncodingAVC),
+		Mode:      FoVGuided,
+		Algorithm: alg(),
+		OOS:       abr.OOSPolicy{MaxRing: 1, QualityDropPerRing: 3},
+	}, 20e6, 3)
+	aggSaving := 1 - float64(aggressive.BytesFetched)/float64(agnostic.BytesFetched)
+	if aggSaving < 0.4 {
+		t.Fatalf("aggressive OOS saving %.0f%%, expected ≥40%%", aggSaving*100)
+	}
+}
+
+func TestFoVGuidedHigherQualityOnTightLink(t *testing.T) {
+	// On a link that cannot carry the full panorama at high quality,
+	// FoV-guided streaming spends the budget where the user looks.
+	guided := runSession(t, Config{Video: testVideo(media.EncodingAVC), Mode: FoVGuided}, 6e6, 4)
+	agnostic := runSession(t, Config{Video: testVideo(media.EncodingAVC), Mode: FoVAgnostic}, 6e6, 4)
+	if guided.QoE.MeanQuality() <= agnostic.QoE.MeanQuality() {
+		t.Fatalf("guided FoV quality %.2f not above agnostic %.2f on a 6 Mbps link",
+			guided.QoE.MeanQuality(), agnostic.QoE.MeanQuality())
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	a := runSession(t, Config{Video: testVideo(media.EncodingAVC)}, 10e6, 7)
+	b := runSession(t, Config{Video: testVideo(media.EncodingAVC)}, 10e6, 7)
+	if a != b {
+		t.Fatalf("same-seed sessions differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestStallsOnStarvedLink(t *testing.T) {
+	rep := runSession(t, Config{Video: testVideo(media.EncodingAVC)}, 300e3, 5)
+	if rep.QoE.Stalls == 0 && rep.QoE.MeanQuality() > 0.5 {
+		t.Fatalf("300 kbps link produced neither stalls nor low quality: %+v", rep.QoE)
+	}
+}
+
+func TestUpgradesHappenUnderSVC(t *testing.T) {
+	cfg := Config{
+		Video:          testVideo(media.EncodingSVC),
+		Mode:           FoVGuided,
+		EnableUpgrades: true,
+	}
+	rep := runSession(t, cfg, 15e6, 6)
+	if rep.Upgrades+rep.UpgradesDeferred+rep.UpgradesSkipped == 0 {
+		t.Fatal("upgrade machinery never consulted")
+	}
+	if rep.Upgrades == 0 {
+		t.Fatal("no upgrade ever executed on a fat link with SVC")
+	}
+}
+
+func TestSVCUpgradesCheaperThanAVC(t *testing.T) {
+	// E5's core comparison at session level: under the same conditions,
+	// the SVC session wastes fewer bytes on upgrades than AVC re-fetches.
+	run := func(enc media.Encoding) Report {
+		return runSession(t, Config{
+			Video:          testVideo(enc),
+			Mode:           FoVGuided,
+			EnableUpgrades: true,
+		}, 15e6, 8)
+	}
+	svc := run(media.EncodingSVC)
+	avc := run(media.EncodingAVC)
+	if svc.Upgrades == 0 || avc.Upgrades == 0 {
+		t.Skipf("upgrades: svc=%d avc=%d — scenario produced none", svc.Upgrades, avc.Upgrades)
+	}
+	if svc.QoE.WasteRatio() >= avc.QoE.WasteRatio() {
+		t.Fatalf("SVC waste ratio %.3f not below AVC %.3f",
+			svc.QoE.WasteRatio(), avc.QoE.WasteRatio())
+	}
+}
+
+func TestUrgentFetchesOnHMPCorrections(t *testing.T) {
+	cfg := Config{
+		Video:          testVideo(media.EncodingAVC),
+		Mode:           FoVGuided,
+		EnableUpgrades: true,
+		OOS:            abr.OOSPolicy{MaxRing: 1},
+	}
+	rep := runSession(t, cfg, 15e6, 9)
+	// With thin OOS coverage and a moving head some corrections are
+	// inevitable.
+	if rep.UrgentFetches == 0 {
+		t.Log("no urgent fetches this seed; trying a faster head")
+		// A deliberately erratic viewer must trigger corrections.
+		clock := sim.NewClock(99)
+		path := netem.NewPath(clock, "net", netem.Constant(15e6), 20*time.Millisecond, 0)
+		sched := transport.NewSinglePath(clock, path)
+		rng := rand.New(rand.NewSource(99))
+		att := trace.GenerateAttention(rand.New(rand.NewSource(98)), 40*time.Second)
+		head := trace.Generate(rng, trace.UserProfile{ID: "fast", SpeedScale: 2.2}, att, 40*time.Second)
+		s, err := NewSession(clock, cfg, head, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep = s.Run()
+		if rep.UrgentFetches == 0 {
+			t.Fatal("even an erratic viewer triggered no urgent fetches")
+		}
+	}
+}
+
+func TestCrowdHeatmapReducesFetchVolume(t *testing.T) {
+	// §3.2: crowd statistics prune OOS tiles nobody looks at, cutting
+	// fetch volume without hurting FoV quality.
+	v := testVideo(media.EncodingAVC)
+	dur := v.Duration + 10*time.Second
+	rng := rand.New(rand.NewSource(21))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(522)), dur)
+	pop := trace.NewPopulation(rng, 10)
+	sessions := pop.Sessions(rng, att, dur)
+	heat := hmp.BuildHeatmap(v.Grid, sphere.Equirectangular{}, sphere.DefaultFoV,
+		v.ChunkDuration, v.Duration, sessions)
+
+	// The viewer watches the same video (same attention schedule).
+	// Compare crowd pruning on vs off under the same heatmap: pruning
+	// must cut fetch volume without collapsing FoV quality.
+	run := func(minProb float64) Report {
+		clock := sim.NewClock(22)
+		path := netem.NewPath(clock, "net", netem.Constant(20e6), 20*time.Millisecond, 0)
+		sched := transport.NewSinglePath(clock, path)
+		head := trace.Generate(rand.New(rand.NewSource(23)),
+			trace.UserProfile{ID: "viewer", SpeedScale: 1}, att, dur)
+		cfg := Config{
+			Video:   v,
+			Mode:    FoVGuided,
+			Heatmap: heat,
+			OOS:     abr.OOSPolicy{MaxRing: 3, MinCrowdProb: minProb},
+		}
+		s, err := NewSession(clock, cfg, head, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	pruned := run(0.2)
+	unpruned := run(0)
+	if pruned.BytesFetched >= unpruned.BytesFetched {
+		t.Fatalf("crowd pruning did not reduce fetch volume: %d vs %d",
+			pruned.BytesFetched, unpruned.BytesFetched)
+	}
+	if pruned.QoE.MeanQuality() < unpruned.QoE.MeanQuality()-1 {
+		t.Fatalf("crowd pruning collapsed quality: %.2f vs %.2f",
+			pruned.QoE.MeanQuality(), unpruned.QoE.MeanQuality())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FoVGuided.String() != "fov-guided" || FoVAgnostic.String() != "fov-agnostic" {
+		t.Fatal("bad mode strings")
+	}
+}
+
+func TestCloudletTranscodingAddsLatencyNotFailure(t *testing.T) {
+	// §3.1.1 offloading: a LAN cloudlet transcodes SVC→AVC per chunk.
+	// A fast cloudlet must not hurt the session; a pathological one
+	// (slower than realtime) must show up as stalls or blanks.
+	base := Config{Video: testVideo(media.EncodingSVC), Mode: FoVGuided}
+	noCloudlet := runSession(t, base, 15e6, 12)
+
+	withFast := base
+	withFast.Cloudlet = &codec.DefaultCloudlet
+	fast := runSession(t, withFast, 15e6, 12)
+	if fast.QoE.Stalls > noCloudlet.QoE.Stalls+1 {
+		t.Fatalf("fast cloudlet added stalls: %d vs %d", fast.QoE.Stalls, noCloudlet.QoE.Stalls)
+	}
+	if fast.QoE.MeanQuality() < noCloudlet.QoE.MeanQuality()-0.5 {
+		t.Fatalf("fast cloudlet collapsed quality: %.2f vs %.2f",
+			fast.QoE.MeanQuality(), noCloudlet.QoE.MeanQuality())
+	}
+
+	withSlow := base
+	withSlow.Cloudlet = &codec.Transcoder{Latency: 3 * time.Second, ByteRate: 1 << 18}
+	slow := runSession(t, withSlow, 15e6, 12)
+	degraded := slow.QoE.Stalls > fast.QoE.Stalls ||
+		slow.QoE.BlankTime > fast.QoE.BlankTime ||
+		slow.QoE.MeanQuality() < fast.QoE.MeanQuality()
+	if !degraded {
+		t.Fatal("a slower-than-realtime cloudlet had no visible effect")
+	}
+}
+
+func TestCloudletIgnoredForAVC(t *testing.T) {
+	cfg := Config{Video: testVideo(media.EncodingAVC), Mode: FoVGuided}
+	cfg.Cloudlet = &codec.Transcoder{Latency: time.Hour} // absurd, must be bypassed
+	rep := runSession(t, cfg, 15e6, 13)
+	if rep.QoE.PlayTime != 30*time.Second || rep.QoE.MeanQuality() <= 0 {
+		t.Fatalf("AVC session routed through the cloudlet: %+v", rep.QoE)
+	}
+}
+
+func TestDecodeStageWithDevice(t *testing.T) {
+	// With the Fig. 4 decode stage enabled on a capable device, the
+	// session plays normally and the decode pipeline is exercised.
+	dev := codec.SGS7
+	cfg := Config{
+		Video:  testVideo(media.EncodingAVC),
+		Mode:   FoVGuided,
+		Device: &dev,
+	}
+	rep := runSession(t, cfg, 15e6, 14)
+	if rep.QoE.PlayTime != 30*time.Second {
+		t.Fatalf("PlayTime = %v with decode stage", rep.QoE.PlayTime)
+	}
+	// A modern pool keeps up: re-decode hiccups should be rare.
+	if rep.SyncRedecodeTime > 2*time.Second {
+		t.Fatalf("sync re-decode time %v on an SGS7", rep.SyncRedecodeTime)
+	}
+
+	// A pathological single slow decoder must show up as hiccups.
+	slow := codec.DeviceProfile{
+		Name:          "potato",
+		HWDecoders:    1,
+		Decoder:       codec.DecoderSpec{PixelRate: 2e6, SubmitOverhead: 5 * time.Millisecond},
+		MaxDisplayFPS: 60,
+	}
+	cfgSlow := cfg
+	cfgSlow.Device = &slow
+	cfgSlow.Decoders = 1
+	repSlow := runSession(t, cfgSlow, 15e6, 14)
+	if repSlow.SyncRedecodes == 0 {
+		t.Fatal("a 2 Mpx/s decoder never fell behind a 4x6-tile 360° stream")
+	}
+	if repSlow.QoE.StallTime <= rep.QoE.StallTime {
+		t.Fatalf("slow decoder stall time %v not above SGS7's %v",
+			repSlow.QoE.StallTime, rep.QoE.StallTime)
+	}
+}
+
+func TestSessionOverContentAwareMultipath(t *testing.T) {
+	// The session API composes with any transport.Scheduler (§3.3): run
+	// a full playback over a WiFi+LTE pair with the content-aware
+	// scheduler and confirm it behaves like a healthy session.
+	clock := sim.NewClock(15)
+	wifi := netem.NewPath(clock, "wifi", netem.Constant(8e6), 15*time.Millisecond, 0)
+	lte := netem.NewPath(clock, "lte", netem.Constant(6e6), 45*time.Millisecond, 0.01)
+	sched := multipath.NewContentAware(clock, wifi, lte)
+	head := testHead(15, 40*time.Second)
+	s, err := NewSession(clock, Config{
+		Video: testVideo(media.EncodingAVC),
+		Mode:  FoVGuided,
+	}, head, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run()
+	if rep.QoE.PlayTime != 30*time.Second {
+		t.Fatalf("PlayTime = %v over multipath", rep.QoE.PlayTime)
+	}
+	if wifi.BytesMoved() == 0 {
+		t.Fatal("wifi path unused")
+	}
+	if lte.BytesMoved() == 0 {
+		t.Fatal("lte path unused (OOS chunks should ride it)")
+	}
+	// Combined capacity beats either single path: quality must be decent.
+	if rep.QoE.MeanQuality() < 1 {
+		t.Fatalf("multipath session quality %.2f", rep.QoE.MeanQuality())
+	}
+}
+
+func TestHybridSessionMixesEncodings(t *testing.T) {
+	cfg := Config{
+		Video:          testVideo(media.EncodingSVC),
+		Mode:           FoVGuided,
+		EnableUpgrades: true,
+		HybridSVC:      true,
+	}
+	rep := runSession(t, cfg, 15e6, 16)
+	if rep.HybridAVCFetches == 0 || rep.HybridSVCFetches == 0 {
+		t.Fatalf("hybrid session did not mix encodings: AVC=%d SVC=%d",
+			rep.HybridAVCFetches, rep.HybridSVCFetches)
+	}
+	// FoV tiles (low upgrade probability) should mostly go AVC.
+	if rep.HybridAVCFetches < rep.HybridSVCFetches/4 {
+		t.Fatalf("suspicious hybrid split: AVC=%d SVC=%d",
+			rep.HybridAVCFetches, rep.HybridSVCFetches)
+	}
+}
+
+func TestHybridNoCheaperThanPureAlternatives(t *testing.T) {
+	// §3.1.2: the hybrid avoids the SVC overhead where upgrades are
+	// unlikely. Its wire usage must not exceed pure SVC's.
+	run := func(hybrid bool, enc media.Encoding) Report {
+		return runSession(t, Config{
+			Video:          testVideo(enc),
+			Mode:           FoVGuided,
+			EnableUpgrades: true,
+			HybridSVC:      hybrid,
+		}, 15e6, 17)
+	}
+	hybrid := run(true, media.EncodingSVC)
+	pureSVC := run(false, media.EncodingSVC)
+	if hybrid.BytesFetched > pureSVC.BytesFetched*102/100 {
+		t.Fatalf("hybrid fetched %d > pure SVC %d", hybrid.BytesFetched, pureSVC.BytesFetched)
+	}
+	if hybrid.QoE.MeanQuality() < pureSVC.QoE.MeanQuality()-0.5 {
+		t.Fatalf("hybrid quality %.2f collapsed vs pure SVC %.2f",
+			hybrid.QoE.MeanQuality(), pureSVC.QoE.MeanQuality())
+	}
+}
+
+func TestHybridIgnoredOutsideSVCGuided(t *testing.T) {
+	// Hybrid is meaningless on AVC videos or FoV-agnostic sessions.
+	rep := runSession(t, Config{
+		Video:     testVideo(media.EncodingAVC),
+		Mode:      FoVGuided,
+		HybridSVC: true,
+	}, 15e6, 18)
+	if rep.HybridAVCFetches+rep.HybridSVCFetches != 0 {
+		t.Fatal("hybrid decisions on an AVC video")
+	}
+}
+
+func TestBandwidthBudgetCapsUsage(t *testing.T) {
+	// §3.1.2: "the bandwidth budget configured by the user". On a fat
+	// link, a 4 Mbps budget must keep the session's rate near 4 Mbps.
+	unbudgeted := runSession(t, Config{
+		Video: testVideo(media.EncodingAVC),
+		Mode:  FoVGuided,
+	}, 50e6, 19)
+	budgeted := runSession(t, Config{
+		Video:           testVideo(media.EncodingAVC),
+		Mode:            FoVGuided,
+		BandwidthBudget: 4e6,
+	}, 50e6, 19)
+	if budgeted.BytesFetched >= unbudgeted.BytesFetched {
+		t.Fatalf("budget did not cap usage: %d vs %d",
+			budgeted.BytesFetched, unbudgeted.BytesFetched)
+	}
+	// 30 s at 4 Mbps = 15 MB; allow slack for urgent corrections.
+	if budgeted.BytesFetched > 20e6 {
+		t.Fatalf("budgeted session used %.1f MB against a 4 Mbps budget",
+			float64(budgeted.BytesFetched)/1e6)
+	}
+	// The budget bounds spend, not correctness: FoV quality must stay in
+	// a sane band (a stable cap can even beat a noisy estimator).
+	if budgeted.QoE.MeanQuality() < unbudgeted.QoE.MeanQuality()-2 {
+		t.Fatalf("budgeted quality collapsed: %.2f vs %.2f",
+			budgeted.QoE.MeanQuality(), unbudgeted.QoE.MeanQuality())
+	}
+}
+
+func TestKitchenSinkLongSession(t *testing.T) {
+	// Everything at once, for five minutes: SVC + hybrid + upgrades +
+	// crowd heatmap + speed bound + bandwidth budget + device decode
+	// stage + content-aware multipath on fluctuating links. The point is
+	// robustness: the full feature matrix must compose and finish with a
+	// sane report.
+	v := testVideo(media.EncodingSVC)
+	v.Duration = 5 * time.Minute
+	dur := v.Duration + 15*time.Second
+
+	clock := sim.NewClock(99)
+	wifi := netem.NewPath(clock, "wifi",
+		netem.WiFiTrace(clock.RNG("wifi"), 14e6, time.Second, dur), 15*time.Millisecond, 0.002)
+	lte := netem.NewPath(clock, "lte",
+		netem.LTETrace(clock.RNG("lte"), 8e6, time.Second, dur), 45*time.Millisecond, 0.015)
+	sched := multipath.NewContentAware(clock, wifi, lte)
+
+	att := trace.GenerateAttention(rand.New(rand.NewSource(98)), dur)
+	pop := trace.NewPopulation(rand.New(rand.NewSource(97)), 8)
+	sessions := pop.Sessions(rand.New(rand.NewSource(96)), att, dur)
+	heat := hmp.BuildHeatmap(v.Grid, sphere.Equirectangular{}, sphere.DefaultFoV,
+		v.ChunkDuration, v.Duration, sessions)
+	user := trace.UserProfile{ID: "sink", SpeedScale: 1.2}
+	head := trace.Generate(rand.New(rand.NewSource(95)), user, att, dur)
+	dev := codec.SGS7
+
+	s, err := NewSession(clock, Config{
+		Video:           v,
+		Mode:            FoVGuided,
+		EnableUpgrades:  true,
+		HybridSVC:       true,
+		Heatmap:         heat,
+		SpeedBound:      hmp.LearnSpeedBound(sessions),
+		BandwidthBudget: 10e6,
+		Device:          &dev,
+		Cloudlet:        &codec.DefaultCloudlet,
+		OOS:             abr.OOSPolicy{MaxRing: 2, MinCrowdProb: 0.1},
+	}, head, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run()
+	if rep.QoE.PlayTime != v.Duration {
+		t.Fatalf("played %v of %v", rep.QoE.PlayTime, v.Duration)
+	}
+	if rep.QoE.MeanQuality() < 1 {
+		t.Fatalf("mean quality %.2f over five minutes", rep.QoE.MeanQuality())
+	}
+	if rep.QoE.StallRatio() > 0.1 {
+		t.Fatalf("stall ratio %.2f", rep.QoE.StallRatio())
+	}
+	if rep.BytesFetched > int64(10e6/8*float64(v.Duration/time.Second))*13/10 {
+		t.Fatalf("budget blown: %.1f MB", float64(rep.BytesFetched)/1e6)
+	}
+	if rep.Upgrades == 0 || rep.HybridSVCFetches == 0 {
+		t.Fatalf("feature matrix inert: upgrades=%d hybridSVC=%d",
+			rep.Upgrades, rep.HybridSVCFetches)
+	}
+}
+
+func TestObserverEventStream(t *testing.T) {
+	var events []Event
+	cfg := Config{
+		Video:          testVideo(media.EncodingSVC),
+		Mode:           FoVGuided,
+		EnableUpgrades: true,
+		Observer:       func(e Event) { events = append(events, e) },
+	}
+	clock := sim.NewClock(20)
+	path := netem.NewPath(clock, "net", netem.Constant(15e6), 20*time.Millisecond, 0)
+	sched := transport.NewSinglePath(clock, path)
+	head := testHead(20, 40*time.Second)
+	s, err := NewSession(clock, cfg, head, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run()
+
+	counts := map[EventKind]int{}
+	var last time.Duration
+	for _, e := range events {
+		if e.At < last {
+			t.Fatalf("events out of order: %v after %v", e.At, last)
+		}
+		last = e.At
+		counts[e.Kind]++
+	}
+	nChunks := cfg.Video.NumChunks()
+	if counts[EventPlanned] != nChunks {
+		t.Fatalf("planned events %d, want %d", counts[EventPlanned], nChunks)
+	}
+	if counts[EventPlay] != nChunks {
+		t.Fatalf("play events %d, want %d", counts[EventPlay], nChunks)
+	}
+	if counts[EventFetched] == 0 {
+		t.Fatal("no fetch events")
+	}
+	if counts[EventUpgraded] != rep.Upgrades {
+		t.Fatalf("upgrade events %d, report says %d", counts[EventUpgraded], rep.Upgrades)
+	}
+	if counts[EventStall] != rep.QoE.Stalls {
+		t.Fatalf("stall events %d, report says %d", counts[EventStall], rep.QoE.Stalls)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for _, e := range []Event{
+		{Kind: EventPlanned, Interval: 3, Quality: 4},
+		{Kind: EventFetched, Interval: 1, Tile: 5, Quality: 2, Bytes: 100},
+		{Kind: EventStall, Interval: 2, Dur: time.Second},
+		{Kind: EventPlay, Interval: 2, Quality: 3},
+	} {
+		if e.String() == "" {
+			t.Fatalf("empty string for %v", e.Kind)
+		}
+	}
+	if EventKind(99).String() != "event(99)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+// BenchmarkFullSession measures the cost of one complete 30s FoV-guided
+// session on the simulator — the unit every experiment multiplies.
+func BenchmarkFullSession(b *testing.B) {
+	v := testVideo(media.EncodingAVC)
+	att := trace.GenerateAttention(rand.New(rand.NewSource(2)), 40*time.Second)
+	head := trace.Generate(rand.New(rand.NewSource(1)), trace.UserProfile{ID: "b", SpeedScale: 1}, att, 40*time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := sim.NewClock(1)
+		path := netem.NewPath(clock, "net", netem.Constant(15e6), 20*time.Millisecond, 0)
+		s, err := NewSession(clock, Config{Video: v, Mode: FoVGuided}, head,
+			transport.NewSinglePath(clock, path))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+}
+
+func TestSuperChunkKeepsFoVVarianceLow(t *testing.T) {
+	// §3.1.2 part one: all chunks within a super chunk share one quality
+	// so the FoV looks uniform. With good prediction, the within-FoV
+	// variance stays far below the ladder's spread; it grows only when
+	// OOS tiles (fetched a level lower) drift into view.
+	rep := runSession(t, Config{Video: testVideo(media.EncodingAVC), Mode: FoVGuided}, 20e6, 21)
+	v := rep.QoE.MeanFoVVariance()
+	if v < 0 {
+		t.Fatalf("negative variance %v", v)
+	}
+	// A uniform-quality FoV would be 0; OOS drift adds some. More than
+	// 2.0 would mean the super-chunk constraint is broken.
+	if v > 2.0 {
+		t.Fatalf("within-FoV quality variance %v — super chunks not uniform", v)
+	}
+}
+
+func TestEncodedCacheBudget(t *testing.T) {
+	// Fig. 4's main-memory chunk cache: a generous budget changes
+	// nothing; a starved one evicts prefetched chunks before they play,
+	// forcing rush re-fetches and waste.
+	base := Config{Video: testVideo(media.EncodingAVC), Mode: FoVGuided}
+	roomy := base
+	roomy.EncodedCacheBytes = 256 << 20
+	r1 := runSession(t, base, 20e6, 23)
+	r2 := runSession(t, roomy, 20e6, 23)
+	if r1.QoE.PlayTime != r2.QoE.PlayTime {
+		t.Fatalf("roomy cache changed playback: %v vs %v", r2.QoE.PlayTime, r1.QoE.PlayTime)
+	}
+	if r2.BytesFetched > r1.BytesFetched*101/100 {
+		t.Fatalf("roomy cache inflated fetches: %d vs %d", r2.BytesFetched, r1.BytesFetched)
+	}
+
+	starved := base
+	starved.EncodedCacheBytes = 64 << 10 // 64 KiB: a handful of tiles
+	r3 := runSession(t, starved, 20e6, 23)
+	if r3.QoE.PlayTime != 30*time.Second {
+		t.Fatalf("starved cache broke playback: %v", r3.QoE.PlayTime)
+	}
+	if r3.UrgentFetches <= r1.UrgentFetches {
+		t.Fatalf("starved cache caused no rush re-fetches: %d vs %d",
+			r3.UrgentFetches, r1.UrgentFetches)
+	}
+	// Evictions force play-time rushes at base quality: the viewer sees
+	// worse frames than with a healthy cache.
+	if r3.QoE.MeanQuality() >= r1.QoE.MeanQuality() {
+		t.Fatalf("starved cache cost no quality: %.2f vs %.2f",
+			r3.QoE.MeanQuality(), r1.QoE.MeanQuality())
+	}
+}
+
+func TestRunIsIdempotent(t *testing.T) {
+	clock := sim.NewClock(30)
+	path := netem.NewPath(clock, "net", netem.Constant(20e6), 20*time.Millisecond, 0)
+	s, err := NewSession(clock, Config{Video: testVideo(media.EncodingAVC)},
+		testHead(30, 40*time.Second), transport.NewSinglePath(clock, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Run()
+	second := s.Run()
+	if first != second {
+		t.Fatal("second Run changed the report")
+	}
+}
+
+func TestMaxStallPlaysWithBlanks(t *testing.T) {
+	// A link that dies mid-session: rush fetches cannot complete, so
+	// after MaxStall the interval plays with blank tiles instead of
+	// hanging forever.
+	clock := sim.NewClock(31)
+	dead := netem.MustSteps(
+		netem.Step{Start: 0, BPS: 20e6},
+		netem.Step{Start: 8 * time.Second, BPS: 0},
+	)
+	path := netem.NewPath(clock, "dying", dead, 20*time.Millisecond, 0)
+	cfg := Config{
+		Video:    testVideo(media.EncodingAVC),
+		Mode:     FoVGuided,
+		MaxStall: 2 * time.Second,
+	}
+	s, err := NewSession(clock, cfg, testHead(31, 40*time.Second), transport.NewSinglePath(clock, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Report, 1)
+	go func() { done <- s.Run() }()
+	var rep Report
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("session hung on a dead link")
+	}
+	if rep.QoE.PlayTime != 30*time.Second {
+		t.Fatalf("playback did not complete: %v", rep.QoE.PlayTime)
+	}
+	if rep.QoE.BlankTime == 0 {
+		t.Fatal("dead link produced no blank time")
+	}
+	if rep.QoE.Stalls == 0 {
+		t.Fatal("dead link produced no stalls")
+	}
+}

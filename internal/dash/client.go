@@ -1,0 +1,115 @@
+package dash
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sperke/internal/media"
+)
+
+// FetchResult is one completed segment download with the measurement
+// rate adaptation consumes.
+type FetchResult struct {
+	Header  media.SegmentHeader
+	Payload []byte
+	// WireBytes is the segment size on the wire (header + payload).
+	WireBytes int64
+	// Elapsed is the request wall time; ThroughputBPS the observed
+	// goodput in bits/s.
+	Elapsed       time.Duration
+	ThroughputBPS float64
+}
+
+// Client fetches manifests and segments from a Sperke DASH server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Now returns wall time; replaceable for tests. Defaults to
+	// time.Now.
+	Now func() time.Time
+}
+
+// NewClient builds a client for a server root URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// FetchMPD downloads and parses a video's manifest.
+func (c *Client) FetchMPD(ctx context.Context, videoID string) (*MPD, error) {
+	data, err := c.get(ctx, mpdPath(videoID))
+	if err != nil {
+		return nil, err
+	}
+	return ParseMPD(data)
+}
+
+// FetchChunk downloads one AVC chunk C(q, tile, index).
+func (c *Client) FetchChunk(ctx context.Context, videoID string, q, tile, idx int) (FetchResult, error) {
+	return c.fetchSegment(ctx, chunkPath(videoID, q, tile, idx, false))
+}
+
+// FetchLayer downloads one SVC layer of a chunk — the incremental
+// upgrade primitive of §3.1.1.
+func (c *Client) FetchLayer(ctx context.Context, videoID string, layer, tile, idx int) (FetchResult, error) {
+	return c.fetchSegment(ctx, chunkPath(videoID, layer, tile, idx, true))
+}
+
+func (c *Client) fetchSegment(ctx context.Context, path string) (FetchResult, error) {
+	start := c.now()
+	data, err := c.get(ctx, path)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	elapsed := c.now().Sub(start)
+	h, payload, err := media.ReadSegment(bytes.NewReader(data))
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("dash: decoding segment %s: %w", path, err)
+	}
+	res := FetchResult{
+		Header:    h,
+		Payload:   payload,
+		WireBytes: int64(len(data)),
+		Elapsed:   elapsed,
+	}
+	if elapsed > 0 {
+		res.ThroughputBPS = float64(len(data)) * 8 / elapsed.Seconds()
+	}
+	return res, nil
+}

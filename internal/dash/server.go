@@ -1,0 +1,231 @@
+package dash
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sperke/internal/media"
+	"sperke/internal/tiling"
+)
+
+// Catalog is the server-side content store of Fig. 2: videos organized
+// as qualities × tiles × chunks. Safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	videos map[string]*media.Video
+	// live windows: videoID → [first, last] available chunk index.
+	windows map[string][2]int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		videos:  make(map[string]*media.Video),
+		windows: make(map[string][2]int),
+	}
+}
+
+// Add registers a video. It returns an error for invalid videos or
+// duplicate IDs.
+func (c *Catalog) Add(v *media.Video) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.videos[v.ID]; ok {
+		return fmt.Errorf("dash: video %q already in catalog", v.ID)
+	}
+	c.videos[v.ID] = v
+	return nil
+}
+
+// IDs returns the catalog's video IDs in sorted order.
+func (c *Catalog) IDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.videos))
+	for id := range c.videos {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a video by ID.
+func (c *Catalog) Get(id string) (*media.Video, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.videos[id]
+	return v, ok
+}
+
+// SetLiveWindow marks a video live with the given available chunk
+// range; the MPD turns dynamic.
+func (c *Catalog) SetLiveWindow(id string, first, last int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.windows[id] = [2]int{first, last}
+}
+
+// liveWindow returns the live window if the video is live.
+func (c *Catalog) liveWindow(id string) ([2]int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w, ok := c.windows[id]
+	return w, ok
+}
+
+// Server serves manifests and segments over HTTP:
+//
+//	GET /v/{video}/manifest.mpd
+//	GET /v/{video}/c/{quality}/{tile}/{index}          (AVC chunk)
+//	GET /v/{video}/c/{quality}/{tile}/{index}?layer=1  (one SVC layer)
+//
+// Segment bodies are the binary container of package media with
+// deterministic synthetic payloads sized by the video's rate model.
+type Server struct {
+	Catalog *Catalog
+	Log     *slog.Logger
+
+	mux  *http.ServeMux
+	once sync.Once
+}
+
+// NewServer builds a server over a catalog.
+func NewServer(catalog *Catalog, log *slog.Logger) *Server {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Server{Catalog: catalog, Log: log}
+}
+
+func (s *Server) init() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v", s.handleList)
+	s.mux.HandleFunc("GET /v/{video}/manifest.mpd", s.handleMPD)
+	s.mux.HandleFunc("GET /v/{video}/c/{quality}/{tile}/{index}", s.handleChunk)
+}
+
+// handleList returns the catalog's video IDs, one per line.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, id := range s.Catalog.IDs() {
+		fmt.Fprintln(w, id)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.once.Do(s.init)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Catalog.Get(r.PathValue("video"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	win, live := s.Catalog.liveWindow(v.ID)
+	mpd := BuildMPD(v, live, win[0], win[1])
+	if live {
+		// A live manifest's duration reflects what has been produced.
+		mpd.DurationMs = int64(win[1]+1) * v.ChunkDuration.Milliseconds()
+	}
+	out, err := mpd.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/dash+xml")
+	w.Write(out)
+}
+
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Catalog.Get(r.PathValue("video"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	q, err1 := strconv.Atoi(r.PathValue("quality"))
+	tile, err2 := strconv.Atoi(r.PathValue("tile"))
+	idx, err3 := strconv.Atoi(r.PathValue("index"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		http.Error(w, "dash: bad chunk address", http.StatusBadRequest)
+		return
+	}
+	if q < 0 || q >= v.Qualities() || !v.Grid.Valid(tiling.TileID(tile)) || idx < 0 || idx >= v.NumChunks() {
+		http.Error(w, "dash: chunk out of range", http.StatusNotFound)
+		return
+	}
+	if win, live := s.Catalog.liveWindow(v.ID); live && (idx < win[0] || idx > win[1]) {
+		http.Error(w, "dash: chunk outside live window", http.StatusNotFound)
+		return
+	}
+	start := v.ChunkStart(idx)
+	var size int64
+	var flags uint8
+	isLayer := r.URL.Query().Get("layer") == "1"
+	if isLayer {
+		if v.Encoding != media.EncodingSVC {
+			http.Error(w, "dash: video is not SVC encoded", http.StatusBadRequest)
+			return
+		}
+		size = v.LayerBytes(q, tiling.TileID(tile), start)
+		flags |= media.FlagSVCLayer
+	} else {
+		size = v.ChunkBytes(q, tiling.TileID(tile), start)
+	}
+	if size <= 0 {
+		http.Error(w, "dash: empty chunk", http.StatusNotFound)
+		return
+	}
+	h := media.SegmentHeader{
+		VideoID:  v.ID,
+		Quality:  q,
+		Flags:    flags,
+		Tile:     tiling.TileID(tile),
+		Start:    start,
+		Duration: v.ChunkDuration,
+	}
+	seed := uint64(q)<<40 ^ uint64(tile)<<20 ^ uint64(idx) ^ 0x5eed
+	payload := media.SyntheticPayload(seed, int(size))
+	var buf bytes.Buffer
+	buf.Grow(media.SegmentLen(v.ID, len(payload)))
+	if err := media.WriteSegment(&buf, h, payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
+	}
+}
+
+// chunkPath renders the URL path of a chunk.
+func chunkPath(videoID string, q, tile, idx int, layer bool) string {
+	p := fmt.Sprintf("/v/%s/c/%d/%d/%d", videoID, q, tile, idx)
+	if layer {
+		p += "?layer=1"
+	}
+	return p
+}
+
+// mpdPath renders the URL path of a manifest.
+func mpdPath(videoID string) string { return "/v/" + videoID + "/manifest.mpd" }
+
+// ChunkIndexAt converts a media time to a chunk index for a video.
+func ChunkIndexAt(v *media.Video, at time.Duration) int {
+	if v.ChunkDuration <= 0 {
+		return 0
+	}
+	return int(at / v.ChunkDuration)
+}

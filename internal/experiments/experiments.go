@@ -1,0 +1,168 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the quantitative claims woven through its text. Each
+// experiment is a pure function from a seed to a Table whose rows mirror
+// what the paper reports; cmd/sperke-bench renders them and
+// bench_test.go wraps each in a testing.B benchmark.
+//
+// The experiment IDs match DESIGN.md's per-experiment index: E1..E13
+// for paper artifacts, A1..A3 for ablations of Sperke design choices.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output: labeled columns, formatted rows,
+// and free-form notes (calibration caveats, paper reference values).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are Sprint-ed.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (experiment metadata in
+// a comment line), for plotting pipelines.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+	writeCSVRow(w, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(out, ","))
+}
+
+// Runner produces one experiment's table from a seed.
+type Runner func(seed int64) *Table
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns the registered experiment IDs in a stable order: E* by
+// number, then A*.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[0] != b[0] {
+			return a[0] < b[0] // 'A' < 'E'; flip below
+		}
+		// Numeric suffix order.
+		return num(a) < num(b)
+	})
+	// Put E-experiments (paper artifacts) before A-ablations.
+	sort.SliceStable(out, func(i, j int) bool {
+		return strings.HasPrefix(out[i], "E") && !strings.HasPrefix(out[j], "E")
+	})
+	return out
+}
+
+func num(id string) int {
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Run executes one experiment by ID.
+func Run(id string, seed int64) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(seed), nil
+}
+
+// RunAll executes every experiment in order.
+func RunAll(seed int64) []*Table {
+	var out []*Table
+	for _, id := range IDs() {
+		t, _ := Run(id, seed)
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package hmp_test
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/hmp"
+	"sperke/internal/sphere"
+	"sperke/internal/trace"
+)
+
+// ExampleLinearRegression predicts a smoothly panning viewer's future
+// orientation from recent sensor samples, the short-horizon HMP of
+// [16, 37].
+func ExampleLinearRegression() {
+	p := hmp.LinearRegression{Persistence: 1e6} // pure extrapolation for the demo
+	// 20°/s pan, sampled at 50 Hz for half a second.
+	for i := 0; i <= 25; i++ {
+		at := time.Duration(i) * 20 * time.Millisecond
+		p.Observe(trace.Sample{At: at, View: sphere.Orientation{Yaw: 20 * at.Seconds()}})
+	}
+	pred := p.Predict(1500 * time.Millisecond) // one second ahead
+	fmt.Printf("predicted yaw ≈ %.0f°\n", pred.View.Yaw)
+	// Output:
+	// predicted yaw ≈ 30°
+}
+
+// ExampleFusion builds the §3.2 data-fusion predictor: personal motion,
+// crowd heatmap, learned speed bound and viewing context in one.
+func ExampleFusion() {
+	ctx := trace.Context{Pose: trace.Lying} // cannot look 180° behind
+	f := &hmp.Fusion{
+		SpeedBound: 120, // learned from this user's history, °/s
+		Context:    &ctx,
+	}
+	f.Observe(trace.Sample{At: 0, View: sphere.Orientation{Yaw: 100}})
+	f.Observe(trace.Sample{At: 100 * time.Millisecond, View: sphere.Orientation{Yaw: 104}})
+	pred := f.Predict(2100 * time.Millisecond)
+	fmt.Printf("prediction stays inside the lying viewer's ±110° range: %v\n",
+		pred.View.Yaw <= 110)
+	// Output:
+	// prediction stays inside the lying viewer's ±110° range: true
+}

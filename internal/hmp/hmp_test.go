@@ -1,0 +1,363 @@
+package hmp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sperke/internal/sphere"
+	"sperke/internal/tiling"
+	"sperke/internal/trace"
+)
+
+// steadyYawTrace builds a trace rotating at a constant yaw rate.
+func steadyYawTrace(rate float64, dur time.Duration) *trace.HeadTrace {
+	h := &trace.HeadTrace{}
+	for t := time.Duration(0); t <= dur; t += 20 * time.Millisecond {
+		h.Samples = append(h.Samples, trace.Sample{
+			At:   t,
+			View: sphere.Orientation{Yaw: sphere.NormalizeYaw(rate * t.Seconds())},
+		})
+	}
+	return h
+}
+
+func feed(p Predictor, h *trace.HeadTrace, upTo time.Duration) {
+	for _, s := range h.Samples {
+		if s.At > upTo {
+			break
+		}
+		p.Observe(s)
+	}
+}
+
+func TestStaticPredictsLastView(t *testing.T) {
+	var p Static
+	if got := p.Predict(time.Second); got.Radius != 180 {
+		t.Fatal("unobserved static should be maximally uncertain")
+	}
+	p.Observe(trace.Sample{At: time.Second, View: sphere.Orientation{Yaw: 42}})
+	got := p.Predict(2 * time.Second)
+	if got.View.Yaw != 42 {
+		t.Fatalf("yaw = %v, want 42", got.View.Yaw)
+	}
+	// Radius grows with horizon.
+	if p.Predict(3*time.Second).Radius <= got.Radius {
+		t.Fatal("radius did not grow with horizon")
+	}
+}
+
+func TestLinearExtrapolatesConstantVelocity(t *testing.T) {
+	h := steadyYawTrace(20, 5*time.Second)  // 20°/s
+	p := LinearRegression{Persistence: 1e6} // pure extrapolation
+	feed(&p, h, 3*time.Second)
+	pred := p.Predict(4 * time.Second) // 1s ahead: expect yaw ≈ 80
+	if d := sphere.AngularDistance(pred.View, sphere.Orientation{Yaw: 80}); d > 3 {
+		t.Fatalf("prediction %v, want ≈ yaw 80 (err %v°)", pred.View, d)
+	}
+}
+
+func TestLinearHandlesYawWraparound(t *testing.T) {
+	// Rotating through the ±180° seam must not break the fit.
+	h := steadyYawTrace(40, 10*time.Second)
+	p := LinearRegression{Persistence: 1e6}
+	feed(&p, h, 4700*time.Millisecond) // yaw ≈ 188 → wrapped to -172
+	pred := p.Predict(5 * time.Second) // expect yaw ≈ 200 → -160
+	want := sphere.Orientation{Yaw: -160}
+	if d := sphere.AngularDistance(pred.View, want); d > 4 {
+		t.Fatalf("wraparound prediction %v, want ≈%v (err %v°)", pred.View, want, d)
+	}
+}
+
+func TestLinearBeatsStaticOnSmoothMotion(t *testing.T) {
+	h := steadyYawTrace(30, 10*time.Second)
+	horizon := time.Second
+	lin := Evaluate(func() Predictor { return &LinearRegression{} }, h, sphere.DefaultFoV, horizon)
+	sta := Evaluate(func() Predictor { return &Static{} }, h, sphere.DefaultFoV, horizon)
+	if lin.MeanError >= sta.MeanError {
+		t.Fatalf("linear %.1f° not better than static %.1f° on smooth motion", lin.MeanError, sta.MeanError)
+	}
+}
+
+func TestLinearCapsExtrapolationSpeed(t *testing.T) {
+	// A saccade inside the window should not fling the prediction.
+	h := &trace.HeadTrace{}
+	for t := time.Duration(0); t <= 400*time.Millisecond; t += 20 * time.Millisecond {
+		yaw := 0.0
+		if t >= 300*time.Millisecond {
+			yaw = float64(t-300*time.Millisecond) / float64(100*time.Millisecond) * 40 // 400°/s burst
+		}
+		h.Samples = append(h.Samples, trace.Sample{At: t, View: sphere.Orientation{Yaw: yaw}})
+	}
+	var p LinearRegression
+	feed(&p, h, 400*time.Millisecond)
+	pred := p.Predict(1400 * time.Millisecond) // 1s ahead
+	// Uncapped the fit would predict far beyond 160°; the cap holds it
+	// to ≤ 120°/s → ≤ ~160° total; mainly assert it stays on-sphere and
+	// radius reflects high uncertainty.
+	if pred.Radius < 20 {
+		t.Fatalf("saccade horizon radius %v too confident", pred.Radius)
+	}
+}
+
+func TestLinearEmptyAndSingleSample(t *testing.T) {
+	var p LinearRegression
+	if p.Predict(time.Second).Radius != 180 {
+		t.Fatal("empty predictor should be maximally uncertain")
+	}
+	p.Observe(trace.Sample{At: 0, View: sphere.Orientation{Yaw: 10}})
+	pred := p.Predict(time.Second)
+	if pred.View.Yaw != 10 {
+		t.Fatalf("single-sample prediction yaw %v, want 10", pred.View.Yaw)
+	}
+}
+
+func buildTestHeatmap(t testing.TB, nUsers int) (*Heatmap, []*trace.HeadTrace, *trace.Attention) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(22)), 30*time.Second)
+	pop := trace.NewPopulation(rng, nUsers)
+	sessions := pop.Sessions(rng, att, 30*time.Second)
+	h := BuildHeatmap(tiling.GridCellular, sphere.Equirectangular{}, sphere.DefaultFoV,
+		2*time.Second, 30*time.Second, sessions)
+	return h, sessions, att
+}
+
+func TestHeatmapProbabilitiesInRange(t *testing.T) {
+	h, _, _ := buildTestHeatmap(t, 10)
+	if h.Intervals() != 15 {
+		t.Fatalf("intervals = %d, want 15", h.Intervals())
+	}
+	for i := 0; i < h.Intervals(); i++ {
+		at := time.Duration(i) * 2 * time.Second
+		var maxP float64
+		for tile := tiling.TileID(0); int(tile) < h.Grid.Tiles(); tile++ {
+			p := h.Probability(at, tile)
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v out of range", p)
+			}
+			if p > maxP {
+				maxP = p
+			}
+		}
+		if maxP == 0 {
+			t.Fatalf("interval %d has no viewed tiles", i)
+		}
+	}
+}
+
+func TestHeatmapTopTilesOrdered(t *testing.T) {
+	h, _, _ := buildTestHeatmap(t, 10)
+	top := h.TopTiles(4*time.Second, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopTiles returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if h.Probability(4*time.Second, top[i]) > h.Probability(4*time.Second, top[i-1]) {
+			t.Fatal("TopTiles not ordered by probability")
+		}
+	}
+	if h.TopTiles(0, 0) != nil {
+		t.Fatal("TopTiles(k=0) not nil")
+	}
+}
+
+func TestHeatmapEmptySessions(t *testing.T) {
+	h := BuildHeatmap(tiling.GridPrototype, sphere.Equirectangular{}, sphere.DefaultFoV,
+		2*time.Second, 10*time.Second, nil)
+	if h.Probability(0, 0) != 0 {
+		t.Fatal("empty heatmap has nonzero probability")
+	}
+}
+
+func TestHeatmapOutOfRangeClamped(t *testing.T) {
+	h, _, _ := buildTestHeatmap(t, 5)
+	// Probing far beyond the video clamps to the last interval.
+	_ = h.Probability(time.Hour, 0)
+	_ = h.CrowdCenter(-time.Second)
+	if h.Probability(0, tiling.TileID(999)) != 0 {
+		t.Fatal("invalid tile has probability")
+	}
+}
+
+func TestCrowdPredictorTracksCrowd(t *testing.T) {
+	h, sessions, _ := buildTestHeatmap(t, 12)
+	// Evaluate the crowd predictor on a held-out user: it should beat
+	// random (90° mean error) by a wide margin at long horizons.
+	rng := rand.New(rand.NewSource(99))
+	att2 := trace.GenerateAttention(rand.New(rand.NewSource(22)), 30*time.Second) // same video attention
+	holdout := trace.Generate(rng, trace.UserProfile{ID: "x", SpeedScale: 1}, att2, 30*time.Second)
+	_ = sessions
+	acc := Evaluate(func() Predictor { return &Crowd{Heatmap: h} }, holdout, sphere.DefaultFoV, 2*time.Second)
+	if acc.MeanError >= 85 {
+		t.Fatalf("crowd predictor mean error %.1f°, no better than random", acc.MeanError)
+	}
+}
+
+func TestFusionBeatsPartsAtLongHorizon(t *testing.T) {
+	h, _, att := buildTestHeatmap(t, 12)
+	rng := rand.New(rand.NewSource(123))
+	user := trace.UserProfile{ID: "holdout", SpeedScale: 1}
+	holdout := trace.Generate(rng, user, att, 30*time.Second)
+
+	horizon := 2 * time.Second
+	lin := Evaluate(func() Predictor { return &LinearRegression{} }, holdout, sphere.DefaultFoV, horizon)
+	fus := Evaluate(func() Predictor {
+		return &Fusion{Heatmap: h, SpeedBound: 240, Context: &user.Context}
+	}, holdout, sphere.DefaultFoV, horizon)
+	// Fusion must not be worse than pure linear at the 2s horizon where
+	// crowd data carries signal.
+	if fus.MeanError > lin.MeanError*1.05 {
+		t.Fatalf("fusion %.1f° worse than linear %.1f° at long horizon", fus.MeanError, lin.MeanError)
+	}
+}
+
+func TestFusionShortHorizonMatchesLinear(t *testing.T) {
+	h, _, _ := buildTestHeatmap(t, 8)
+	tr := steadyYawTrace(25, 10*time.Second)
+	horizon := 200 * time.Millisecond
+	lin := Evaluate(func() Predictor { return &LinearRegression{} }, tr, sphere.DefaultFoV, horizon)
+	fus := Evaluate(func() Predictor { return &Fusion{Heatmap: h} }, tr, sphere.DefaultFoV, horizon)
+	if diff := fus.MeanError - lin.MeanError; diff > 2 {
+		t.Fatalf("fusion deviates from linear at short horizon by %.1f°", diff)
+	}
+}
+
+func TestFusionSpeedBoundCapsDisplacement(t *testing.T) {
+	f := &Fusion{SpeedBound: 10} // very slow user
+	f.Observe(trace.Sample{At: 0, View: sphere.Orientation{Yaw: 0}})
+	f.Observe(trace.Sample{At: 100 * time.Millisecond, View: sphere.Orientation{Yaw: 8}}) // 80°/s apparent
+	pred := f.Predict(1100 * time.Millisecond)                                            // 1s horizon
+	d := sphere.AngularDistance(sphere.Orientation{Yaw: 8}, pred.View)
+	if d > 10.5 {
+		t.Fatalf("displacement %v° exceeds speed bound 10°/s × 1s", d)
+	}
+}
+
+func TestFusionContextClampsYaw(t *testing.T) {
+	f := &Fusion{Context: &trace.Context{Pose: trace.Lying}} // yaw range ±110
+	f.Observe(trace.Sample{At: 0, View: sphere.Orientation{Yaw: 100}})
+	f.Observe(trace.Sample{At: 100 * time.Millisecond, View: sphere.Orientation{Yaw: 108}})
+	pred := f.Predict(2100 * time.Millisecond)
+	if pred.View.Yaw > 110.5 {
+		t.Fatalf("lying context allowed yaw %v", pred.View.Yaw)
+	}
+}
+
+func TestEvaluateAccuracyFields(t *testing.T) {
+	h := steadyYawTrace(10, 10*time.Second)
+	acc := Evaluate(func() Predictor { return &Static{} }, h, sphere.DefaultFoV, 500*time.Millisecond)
+	if acc.Samples == 0 {
+		t.Fatal("no samples evaluated")
+	}
+	if acc.MeanError <= 0 || acc.P90Error < acc.MeanError {
+		t.Fatalf("suspicious accuracy: mean %v p90 %v", acc.MeanError, acc.P90Error)
+	}
+	if acc.HitRate <= 0 || acc.HitRate > 1 {
+		t.Fatalf("hit rate %v out of range", acc.HitRate)
+	}
+}
+
+func TestEvaluateManyAggregates(t *testing.T) {
+	hs := []*trace.HeadTrace{steadyYawTrace(10, 5*time.Second), steadyYawTrace(20, 5*time.Second)}
+	agg := EvaluateMany(func() Predictor { return &Static{} }, hs, sphere.DefaultFoV, 500*time.Millisecond)
+	if agg.Samples == 0 {
+		t.Fatal("no aggregate samples")
+	}
+	single := Evaluate(func() Predictor { return &Static{} }, hs[0], sphere.DefaultFoV, 500*time.Millisecond)
+	if agg.Samples <= single.Samples {
+		t.Fatal("aggregate did not include both traces")
+	}
+}
+
+func TestAccuracyDegradesWithHorizon(t *testing.T) {
+	// Fundamental property (§3.2): prediction gets harder further out.
+	rng := rand.New(rand.NewSource(31))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(32)), 60*time.Second)
+	h := trace.Generate(rng, trace.UserProfile{ID: "u", SpeedScale: 1}, att, 60*time.Second)
+	short := Evaluate(func() Predictor { return &LinearRegression{} }, h, sphere.DefaultFoV, 200*time.Millisecond)
+	long := Evaluate(func() Predictor { return &LinearRegression{} }, h, sphere.DefaultFoV, 2*time.Second)
+	if short.MeanError >= long.MeanError {
+		t.Fatalf("short-horizon error %.1f° not below long-horizon %.1f°", short.MeanError, long.MeanError)
+	}
+	if short.HitRate <= long.HitRate {
+		t.Fatalf("short-horizon hit rate %.2f not above long-horizon %.2f", short.HitRate, long.HitRate)
+	}
+}
+
+func TestLearnSpeedBound(t *testing.T) {
+	if LearnSpeedBound(nil) != 0 {
+		t.Fatal("empty sessions have a speed bound")
+	}
+	slow := steadyYawTrace(10, 5*time.Second)
+	fast := steadyYawTrace(40, 5*time.Second)
+	bound := LearnSpeedBound([]*trace.HeadTrace{slow, fast})
+	// The bound covers the fastest observed session plus padding.
+	if bound < 40 || bound > 55 {
+		t.Fatalf("bound = %v °/s, want ≈44", bound)
+	}
+	// Learned bounds feed Fusion/OOS pruning: slower user, tighter bound.
+	if LearnSpeedBound([]*trace.HeadTrace{slow}) >= bound {
+		t.Fatal("slow-only bound not below mixed bound")
+	}
+}
+
+func TestHeatmapFromProbabilitiesRoundTrip(t *testing.T) {
+	// Build a heatmap from sessions, export its probabilities (as the
+	// collector's JSON does), reconstruct, and compare behaviour.
+	orig, _, _ := buildTestHeatmap(t, 8)
+	prob := make([][]float64, orig.Intervals())
+	for i := range prob {
+		row := make([]float64, orig.Grid.Tiles())
+		at := time.Duration(i) * orig.ChunkDur
+		for tile := range row {
+			row[tile] = orig.Probability(at, tiling.TileID(tile))
+		}
+		prob[i] = row
+	}
+	back, err := HeatmapFromProbabilities(orig.Grid, sphere.Equirectangular{}, orig.ChunkDur, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.Intervals(); i++ {
+		at := time.Duration(i) * orig.ChunkDur
+		for tile := tiling.TileID(0); int(tile) < orig.Grid.Tiles(); tile++ {
+			if back.Probability(at, tile) != orig.Probability(at, tile) {
+				t.Fatalf("probability drifted at interval %d tile %d", i, tile)
+			}
+		}
+		// Reconstructed crowd centers are probability-weighted tile
+		// centers: close to, though not identical with, the original
+		// sample-mean centers.
+		// Tile granularity on the 4×6 grid is 60°×45°; allow one tile.
+		if d := sphere.AngularDistance(back.CrowdCenter(at), orig.CrowdCenter(at)); d > 45 {
+			t.Fatalf("crowd center drifted %v° at interval %d", d, i)
+		}
+	}
+	// The reconstructed heatmap drives TopTiles identically.
+	a := orig.TopTiles(4*time.Second, 3)
+	b := back.TopTiles(4*time.Second, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TopTiles diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHeatmapFromProbabilitiesValidation(t *testing.T) {
+	g := tiling.GridPrototype
+	p := sphere.Equirectangular{}
+	if _, err := HeatmapFromProbabilities(tiling.Grid{}, p, time.Second, nil); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+	if _, err := HeatmapFromProbabilities(g, p, 0, nil); err == nil {
+		t.Fatal("zero chunk duration accepted")
+	}
+	if _, err := HeatmapFromProbabilities(g, p, time.Second, [][]float64{{0.5}}); err == nil {
+		t.Fatal("wrong row width accepted")
+	}
+	if _, err := HeatmapFromProbabilities(g, p, time.Second,
+		[][]float64{{0, 0, 0, 0, 0, 0, 0, 2}}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package media
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"sperke/internal/tiling"
+)
+
+func BenchmarkChunkBytes(b *testing.B) {
+	v := testVideo(EncodingAVC)
+	for i := 0; i < b.N; i++ {
+		v.ChunkBytes(3, tiling.TileID(i%24), time.Duration(i%30)*2*time.Second)
+	}
+}
+
+func BenchmarkSegmentWrite(b *testing.B) {
+	h := SegmentHeader{VideoID: "bench", Quality: 3, Tile: 7, Start: 4 * time.Second, Duration: 2 * time.Second}
+	payload := SyntheticPayload(1, 64<<10)
+	b.SetBytes(int64(SegmentLen(h.VideoID, len(payload))))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WriteSegment(io.Discard, h, payload)
+	}
+}
+
+func BenchmarkSegmentRead(b *testing.B) {
+	h := SegmentHeader{VideoID: "bench", Quality: 3, Tile: 7}
+	payload := SyntheticPayload(1, 64<<10)
+	var buf bytes.Buffer
+	WriteSegment(&buf, h, payload)
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadSegment(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

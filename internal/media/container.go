@@ -1,0 +1,172 @@
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"sperke/internal/tiling"
+)
+
+// Segment container wire format.
+//
+// Sperke's DASH server and live pipeline move chunks as self-describing
+// binary segments so a receiver can validate and demultiplex them
+// without out-of-band state:
+//
+//	offset size field
+//	0      4    magic "SPRK"
+//	4      1    container version (1)
+//	5      1    quality level / SVC layer index
+//	6      1    flags (bit 0: SVC layer, bit 1: live)
+//	7      1    video-ID length n (1..255)
+//	8      2    tile ID (big endian)
+//	10     4    chunk start, milliseconds
+//	14     4    chunk duration, milliseconds
+//	18     4    payload length
+//	22     4    CRC-32 (IEEE) of payload
+//	26     n    video ID (UTF-8)
+//	26+n   ...  payload
+//
+// All multi-byte fields are big-endian, per network convention.
+
+// Segment flags.
+const (
+	// FlagSVCLayer marks the payload as one SVC layer rather than a full
+	// single-layer chunk.
+	FlagSVCLayer = 1 << 0
+	// FlagLive marks a segment produced by a live broadcast.
+	FlagLive = 1 << 1
+)
+
+const (
+	segmentMagic   = "SPRK"
+	segmentVersion = 1
+	headerFixedLen = 26
+	// MaxPayloadLen caps a single segment at 64 MiB — far above any
+	// realistic chunk and small enough to reject corrupt length fields
+	// before allocating.
+	MaxPayloadLen = 64 << 20
+)
+
+// SegmentHeader describes one chunk (or one SVC layer of a chunk) on the
+// wire.
+type SegmentHeader struct {
+	VideoID  string
+	Quality  int // quality level, or layer index when FlagSVCLayer is set
+	Flags    uint8
+	Tile     tiling.TileID
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Errors returned by the segment codec.
+var (
+	ErrBadMagic   = errors.New("media: segment has bad magic")
+	ErrBadVersion = errors.New("media: unsupported segment version")
+	ErrCorrupt    = errors.New("media: segment payload CRC mismatch")
+)
+
+// WriteSegment encodes one segment to w.
+func WriteSegment(w io.Writer, h SegmentHeader, payload []byte) error {
+	if len(h.VideoID) == 0 || len(h.VideoID) > 255 {
+		return fmt.Errorf("media: video ID length %d out of range [1,255]", len(h.VideoID))
+	}
+	if len(payload) > MaxPayloadLen {
+		return fmt.Errorf("media: payload %d exceeds max %d", len(payload), MaxPayloadLen)
+	}
+	if h.Quality < 0 || h.Quality > 255 {
+		return fmt.Errorf("media: quality %d out of range [0,255]", h.Quality)
+	}
+	if h.Tile < 0 || h.Tile > 0xffff {
+		return fmt.Errorf("media: tile %d out of range", h.Tile)
+	}
+	buf := make([]byte, headerFixedLen+len(h.VideoID))
+	copy(buf, segmentMagic)
+	buf[4] = segmentVersion
+	buf[5] = uint8(h.Quality)
+	buf[6] = h.Flags
+	buf[7] = uint8(len(h.VideoID))
+	binary.BigEndian.PutUint16(buf[8:], uint16(h.Tile))
+	binary.BigEndian.PutUint32(buf[10:], uint32(h.Start/time.Millisecond))
+	binary.BigEndian.PutUint32(buf[14:], uint32(h.Duration/time.Millisecond))
+	binary.BigEndian.PutUint32(buf[18:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[22:], crc32.ChecksumIEEE(payload))
+	copy(buf[headerFixedLen:], h.VideoID)
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadSegment decodes one segment from r, validating magic, version,
+// bounds and payload CRC.
+func ReadSegment(r io.Reader) (SegmentHeader, []byte, error) {
+	var h SegmentHeader
+	fixed := make([]byte, headerFixedLen)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return h, nil, err
+	}
+	if string(fixed[:4]) != segmentMagic {
+		return h, nil, ErrBadMagic
+	}
+	if fixed[4] != segmentVersion {
+		return h, nil, fmt.Errorf("%w: %d", ErrBadVersion, fixed[4])
+	}
+	h.Quality = int(fixed[5])
+	h.Flags = fixed[6]
+	idLen := int(fixed[7])
+	if idLen == 0 {
+		return h, nil, fmt.Errorf("media: segment has empty video ID")
+	}
+	h.Tile = tiling.TileID(binary.BigEndian.Uint16(fixed[8:]))
+	h.Start = time.Duration(binary.BigEndian.Uint32(fixed[10:])) * time.Millisecond
+	h.Duration = time.Duration(binary.BigEndian.Uint32(fixed[14:])) * time.Millisecond
+	payloadLen := binary.BigEndian.Uint32(fixed[18:])
+	if payloadLen > MaxPayloadLen {
+		return h, nil, fmt.Errorf("media: payload length %d exceeds max", payloadLen)
+	}
+	wantCRC := binary.BigEndian.Uint32(fixed[22:])
+	id := make([]byte, idLen)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return h, nil, err
+	}
+	h.VideoID = string(id)
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return h, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return h, nil, ErrCorrupt
+	}
+	return h, payload, nil
+}
+
+// SegmentLen returns the encoded size of a segment with the given ID and
+// payload length — used to size buffers and to account wire bytes.
+func SegmentLen(videoID string, payloadLen int) int {
+	return headerFixedLen + len(videoID) + payloadLen
+}
+
+// SyntheticPayload produces deterministic pseudo-random payload bytes
+// standing in for coded video data. The same (seed, n) always yields the
+// same bytes, so CRCs are stable across runs.
+func SyntheticPayload(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	// xorshift64* — tiny, fast, deterministic.
+	x := seed | 1
+	for i := 0; i < n; i += 8 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		v := x * 2685821657736338717
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}

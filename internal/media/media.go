@@ -1,0 +1,340 @@
+// Package media models the 360° video content Sperke streams: bitrate
+// ladders, per-tile chunk sizes, AVC vs SVC encodings (§3.1.1), the
+// Oculus-style versioning scheme the paper contrasts tiling with (§2),
+// and a binary segment container used on the wire by the DASH and live
+// substrates.
+//
+// Sperke never decodes pixels — every streaming decision in the paper
+// depends on chunk sizes, timing, and layer dependencies, which this
+// package produces deterministically from a video's identity. Sizes are
+// reproducible across runs: the same video ID always yields the same
+// per-tile complexity map and per-chunk variation.
+package media
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sperke/internal/tiling"
+)
+
+// Bitrate is a media rate in bits per second.
+type Bitrate float64
+
+// Convenience constructors for readable ladders.
+const (
+	Kbps Bitrate = 1e3
+	Mbps Bitrate = 1e6
+)
+
+func (b Bitrate) String() string {
+	switch {
+	case b >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(b)/1e6)
+	case b >= Kbps:
+		return fmt.Sprintf("%.1fKbps", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%.0fbps", float64(b))
+	}
+}
+
+// BytesIn returns how many bytes the rate produces over d.
+func (b Bitrate) BytesIn(d time.Duration) int64 {
+	return int64(float64(b) * d.Seconds() / 8)
+}
+
+// QualityLevel is one rung of a bitrate ladder: the resolution and rate
+// of the full panoramic frame at that quality.
+type QualityLevel struct {
+	Name    string
+	Width   int // full-panorama luma width in pixels
+	Height  int // full-panorama luma height in pixels
+	Bitrate Bitrate
+}
+
+// Pixels returns the full-panorama pixel count at this level.
+func (q QualityLevel) Pixels() int { return q.Width * q.Height }
+
+// DefaultLadder is a six-level panoramic ladder bracketing the rates the
+// paper observes on commercial platforms (YouTube live offers six levels
+// from 144p to 1080p, §3.4.1; on-demand 360° content goes to 4K).
+var DefaultLadder = []QualityLevel{
+	{Name: "240p", Width: 960, Height: 480, Bitrate: 400 * Kbps},
+	{Name: "360p", Width: 1280, Height: 640, Bitrate: 800 * Kbps},
+	{Name: "480p", Width: 1920, Height: 960, Bitrate: 1600 * Kbps},
+	{Name: "720p", Width: 2560, Height: 1280, Bitrate: 3200 * Kbps},
+	{Name: "1080p", Width: 3840, Height: 1920, Bitrate: 6400 * Kbps},
+	{Name: "4K", Width: 5120, Height: 2560, Bitrate: 12800 * Kbps},
+}
+
+// LiveLadder mirrors the paper's YouTube live observation: six levels
+// from 144p to 1080p (§3.4.1).
+var LiveLadder = []QualityLevel{
+	{Name: "144p", Width: 640, Height: 320, Bitrate: 200 * Kbps},
+	{Name: "240p", Width: 960, Height: 480, Bitrate: 400 * Kbps},
+	{Name: "360p", Width: 1280, Height: 640, Bitrate: 750 * Kbps},
+	{Name: "480p", Width: 1920, Height: 960, Bitrate: 1200 * Kbps},
+	{Name: "720p", Width: 2560, Height: 1280, Bitrate: 2000 * Kbps},
+	{Name: "1080p", Width: 3840, Height: 1920, Bitrate: 3500 * Kbps},
+}
+
+// Encoding selects how chunks of a video are coded (§3.1.1, Fig. 3).
+type Encoding int
+
+const (
+	// EncodingAVC is conventional single-layer coding: each quality is an
+	// independent bitstream; upgrading a fetched chunk means re-fetching
+	// it entirely at the higher quality.
+	EncodingAVC Encoding = iota
+	// EncodingSVC is scalable layered coding: one base layer plus
+	// enhancement layers; upgrading fetches only the missing layers
+	// ("delta encoding"). Each layer carries a size overhead relative to
+	// the AVC delta it replaces.
+	EncodingSVC
+)
+
+func (e Encoding) String() string {
+	if e == EncodingSVC {
+		return "SVC"
+	}
+	return "AVC"
+}
+
+// DefaultSVCOverhead is the per-layer size inflation of SVC relative to
+// single-layer AVC at the same quality — around 10% per layer in the
+// H.264/SVC literature the paper builds on [12, 31].
+const DefaultSVCOverhead = 0.10
+
+// Video describes one panoramic title: its temporal and spatial
+// chunking (Fig. 2) and its encoding. ProjectionName is informational
+// (which projection the texture uses); geometry callers pass the actual
+// sphere.Projection alongside.
+type Video struct {
+	ID             string
+	Duration       time.Duration
+	ChunkDuration  time.Duration
+	Grid           tiling.Grid
+	ProjectionName string
+	Ladder         []QualityLevel
+	Encoding       Encoding
+	// SVCOverhead is the per-layer inflation; zero means
+	// DefaultSVCOverhead when Encoding is SVC.
+	SVCOverhead float64
+}
+
+// Validate reports structural problems with the video description.
+func (v *Video) Validate() error {
+	if v.ID == "" {
+		return fmt.Errorf("media: video has empty ID")
+	}
+	if v.Duration <= 0 || v.ChunkDuration <= 0 {
+		return fmt.Errorf("media: video %q has non-positive duration or chunk duration", v.ID)
+	}
+	if err := v.Grid.Validate(); err != nil {
+		return fmt.Errorf("media: video %q: %w", v.ID, err)
+	}
+	if len(v.Ladder) == 0 {
+		return fmt.Errorf("media: video %q has empty ladder", v.ID)
+	}
+	for i := 1; i < len(v.Ladder); i++ {
+		if v.Ladder[i].Bitrate <= v.Ladder[i-1].Bitrate {
+			return fmt.Errorf("media: video %q ladder not strictly increasing at level %d", v.ID, i)
+		}
+	}
+	return nil
+}
+
+// Qualities returns the number of ladder rungs.
+func (v *Video) Qualities() int { return len(v.Ladder) }
+
+// NumChunks returns how many chunk intervals the video spans (the last
+// may be partial).
+func (v *Video) NumChunks() int {
+	if v.ChunkDuration <= 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(v.Duration) / float64(v.ChunkDuration)))
+}
+
+// ChunkStart returns the start time of chunk interval i.
+func (v *Video) ChunkStart(i int) time.Duration {
+	return time.Duration(i) * v.ChunkDuration
+}
+
+// svcOverhead returns the effective per-layer overhead.
+func (v *Video) svcOverhead() float64 {
+	if v.SVCOverhead > 0 {
+		return v.SVCOverhead
+	}
+	return DefaultSVCOverhead
+}
+
+// hash64 folds strings and integers into a deterministic 64-bit value
+// (FNV-1a), the source of all per-video "content" randomness.
+func hash64(parts ...any) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, p := range parts {
+		switch x := p.(type) {
+		case string:
+			for i := 0; i < len(x); i++ {
+				mix(x[i])
+			}
+		case int:
+			for i := 0; i < 8; i++ {
+				mix(byte(uint64(x) >> (8 * i)))
+			}
+		case int64:
+			for i := 0; i < 8; i++ {
+				mix(byte(uint64(x) >> (8 * i)))
+			}
+		default:
+			panic(fmt.Sprintf("media: hash64 of %T", p))
+		}
+		mix(0xff)
+	}
+	return h
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// TileComplexity returns the relative coding complexity of a tile in
+// [0.6, 1.4], mean ≈ 1 across tiles. Sky tiles compress better than
+// action tiles; the exact map is a deterministic function of the video
+// ID so experiments are reproducible.
+func (v *Video) TileComplexity(tile tiling.TileID) float64 {
+	return 0.6 + 0.8*unit(hash64(v.ID, "tile", int(tile)))
+}
+
+// chunkVariation is the temporal size variation of a chunk interval in
+// [0.8, 1.2] (scene activity varies over time).
+func (v *Video) chunkVariation(idx int) float64 {
+	return 0.8 + 0.4*unit(hash64(v.ID, "time", idx))
+}
+
+// ChunkBytes returns the size in bytes of chunk C(q, l, t) under
+// single-layer (AVC) coding: the tile's share of the full-panorama rate
+// at quality q, over one chunk duration, scaled by the tile's complexity
+// and the interval's activity.
+func (v *Video) ChunkBytes(q int, tile tiling.TileID, start time.Duration) int64 {
+	if q < 0 || q >= len(v.Ladder) || !v.Grid.Valid(tile) {
+		return 0
+	}
+	dur := v.chunkDurAt(start)
+	if dur <= 0 {
+		return 0
+	}
+	mean := float64(v.Ladder[q].Bitrate) * dur.Seconds() / 8 / float64(v.Grid.Tiles())
+	idx := int(start / v.ChunkDuration)
+	size := mean * v.TileComplexity(tile) * v.chunkVariation(idx)
+	if size < 1 {
+		size = 1
+	}
+	return int64(size)
+}
+
+// chunkDurAt returns the actual duration of the chunk interval starting
+// at start (the final interval may be shorter).
+func (v *Video) chunkDurAt(start time.Duration) time.Duration {
+	if start < 0 || start >= v.Duration {
+		return 0
+	}
+	if start+v.ChunkDuration > v.Duration {
+		return v.Duration - start
+	}
+	return v.ChunkDuration
+}
+
+// LayerBytes returns the size of SVC layer `layer` of the tile-chunk:
+// layer 0 is the base layer (the lowest ladder rung), layer i>0 is the
+// enhancement from rung i-1 to rung i, inflated by the SVC overhead
+// (Fig. 3, right).
+func (v *Video) LayerBytes(layer int, tile tiling.TileID, start time.Duration) int64 {
+	if layer < 0 || layer >= len(v.Ladder) {
+		return 0
+	}
+	if layer == 0 {
+		return v.ChunkBytes(0, tile, start)
+	}
+	delta := v.ChunkBytes(layer, tile, start) - v.ChunkBytes(layer-1, tile, start)
+	if delta < 0 {
+		delta = 0
+	}
+	return int64(float64(delta) * (1 + v.svcOverhead()))
+}
+
+// CumulativeLayerBytes returns the total bytes needed to play the
+// tile-chunk at quality q under SVC: all layers 0..q (§3.1.1: "when
+// playing a chunk at layer i > 0, the player must have all its layers
+// from 0 to i").
+func (v *Video) CumulativeLayerBytes(q int, tile tiling.TileID, start time.Duration) int64 {
+	var sum int64
+	for l := 0; l <= q && l < len(v.Ladder); l++ {
+		sum += v.LayerBytes(l, tile, start)
+	}
+	return sum
+}
+
+// UpgradeBytes returns the bytes needed to raise an already-fetched
+// tile-chunk from quality `from` to quality `to`.
+//
+// Under SVC this is the enhancement-layer delta; under AVC the chunk
+// must be re-fetched whole at the target quality — the fundamental
+// mismatch §3.1.1 identifies.
+func (v *Video) UpgradeBytes(from, to int, tile tiling.TileID, start time.Duration) int64 {
+	if to <= from {
+		return 0
+	}
+	if v.Encoding == EncodingSVC {
+		var sum int64
+		for l := from + 1; l <= to && l < len(v.Ladder); l++ {
+			sum += v.LayerBytes(l, tile, start)
+		}
+		return sum
+	}
+	return v.ChunkBytes(to, tile, start)
+}
+
+// FetchBytes returns the bytes to fetch a not-yet-downloaded tile-chunk
+// at quality q under the video's encoding.
+func (v *Video) FetchBytes(q int, tile tiling.TileID, start time.Duration) int64 {
+	if v.Encoding == EncodingSVC {
+		return v.CumulativeLayerBytes(q, tile, start)
+	}
+	return v.ChunkBytes(q, tile, start)
+}
+
+// TotalBytes returns the stored size of the entire video at every
+// quality (the server-side footprint of the tiling approach, Fig. 2).
+func (v *Video) TotalBytes() int64 {
+	var sum int64
+	for i := 0; i < v.NumChunks(); i++ {
+		start := v.ChunkStart(i)
+		for tile := tiling.TileID(0); int(tile) < v.Grid.Tiles(); tile++ {
+			for q := 0; q < len(v.Ladder); q++ {
+				if v.Encoding == EncodingSVC {
+					sum += v.LayerBytes(q, tile, start)
+				} else {
+					sum += v.ChunkBytes(q, tile, start)
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// PanoramaBytes returns the size of the whole panorama at quality q for
+// one chunk interval — what a FoV-agnostic player downloads per interval
+// (§2 "Related Work").
+func (v *Video) PanoramaBytes(q int, start time.Duration) int64 {
+	var sum int64
+	for tile := tiling.TileID(0); int(tile) < v.Grid.Tiles(); tile++ {
+		sum += v.ChunkBytes(q, tile, start)
+	}
+	return sum
+}

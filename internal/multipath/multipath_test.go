@@ -1,0 +1,215 @@
+package multipath
+
+import (
+	"testing"
+	"time"
+
+	"sperke/internal/netem"
+	"sperke/internal/sim"
+	"sperke/internal/tiling"
+	"sperke/internal/transport"
+)
+
+// twoPaths builds the E8 topology: a good WiFi path and a slower,
+// lossier LTE path.
+func twoPaths(clock *sim.Clock) (wifi, lte *netem.Path) {
+	wifi = netem.NewPath(clock, "wifi", netem.Constant(8e6), 10*time.Millisecond, 0)
+	lte = netem.NewPath(clock, "lte", netem.Constant(4e6), 35*time.Millisecond, 0.02)
+	return wifi, lte
+}
+
+func mkReq(tile int, class transport.Class, urgent bool, bytes int64, deadline time.Duration,
+	onDone func(netem.Delivery, bool)) *transport.Request {
+	return &transport.Request{
+		Chunk:    tiling.ChunkID{Tile: tiling.TileID(tile)},
+		Bytes:    bytes,
+		Deadline: deadline,
+		Class:    class,
+		Urgent:   urgent,
+		OnDone:   onDone,
+	}
+}
+
+func TestMPTCPSplitsAcrossPaths(t *testing.T) {
+	clock := sim.NewClock(1)
+	wifi, lte := twoPaths(clock)
+	m := NewMPTCPLike(clock, wifi, lte)
+	var d netem.Delivery
+	m.Submit(mkReq(1, transport.ClassFoV, false, 3e6, time.Minute, func(x netem.Delivery, ok bool) { d = x }))
+	clock.Run()
+	if d.Bytes != 3e6 {
+		t.Fatalf("delivered %d bytes", d.Bytes)
+	}
+	if wifi.BytesMoved() == 0 || lte.BytesMoved() == 0 {
+		t.Fatal("MPTCP did not use both paths")
+	}
+	// Aggregation: 3 MB over ~12 Mbps combined ≈ 2s — far less than the
+	// 3s a single 8 Mbps path would take... but the lossy subflow slows
+	// its share; just require better than the slow path alone (6s).
+	if d.Done > 4*time.Second {
+		t.Fatalf("MPTCP aggregate done at %v", d.Done)
+	}
+}
+
+func TestMPTCPGatedBySlowerSubflow(t *testing.T) {
+	clock := sim.NewClock(1)
+	fast := netem.NewPath(clock, "fast", netem.Constant(100e6), 0, 0)
+	slow := netem.NewPath(clock, "slow", netem.Constant(1e6), 0, 0)
+	m := NewMPTCPLike(clock, fast, slow)
+	var done time.Duration
+	m.Submit(mkReq(1, transport.ClassFoV, false, 2e6, time.Minute, func(d netem.Delivery, ok bool) { done = d.Done }))
+	clock.Run()
+	// The slow path carries ~1/101 of the bytes ≈ 20 kB at 1 Mbps ≈
+	// 158 ms; the fast path finishes its ~1.98 MB in ~158 ms too
+	// (proportional split is rate-fair) — but reordering skew adds a
+	// penalty. Completion must exceed the fast path's own finish.
+	if done <= 100*time.Millisecond {
+		t.Fatalf("MPTCP completion %v implausibly fast", done)
+	}
+}
+
+func TestContentAwareRoutesByClass(t *testing.T) {
+	clock := sim.NewClock(1)
+	wifi, lte := twoPaths(clock)
+	c := NewContentAware(clock, wifi, lte)
+	// FoV chunk goes on the best path (wifi), OOS on the other (lte).
+	c.Submit(mkReq(1, transport.ClassFoV, false, 1e6, time.Minute, nil))
+	c.Submit(mkReq(2, transport.ClassOOS, false, 1e6, time.Minute, nil))
+	clock.Run()
+	if wifi.BytesMoved() != 1e6 {
+		t.Fatalf("wifi moved %d, want the FoV chunk", wifi.BytesMoved())
+	}
+	// The OOS chunk went best-effort on LTE: it may have been dropped,
+	// but it must not have gone over wifi.
+	if lte.InFlight() != 0 {
+		t.Fatal("lte still busy")
+	}
+	if wifi.BytesMoved() > 1e6 {
+		t.Fatal("OOS chunk leaked onto the FoV path")
+	}
+}
+
+func TestContentAwareOOSBestEffortCanDrop(t *testing.T) {
+	clock := sim.NewClock(3)
+	wifi := netem.NewPath(clock, "wifi", netem.Constant(50e6), 0, 0)
+	lossy := netem.NewPath(clock, "lte", netem.Constant(50e6), 0, 0.08)
+	c := NewContentAware(clock, wifi, lossy)
+	drops, oks := 0, 0
+	for i := 0; i < 100; i++ {
+		c.Submit(mkReq(i, transport.ClassOOS, false, 512<<10, time.Hour, func(d netem.Delivery, ok bool) {
+			if ok {
+				oks++
+			} else {
+				drops++
+			}
+		}))
+	}
+	clock.Run()
+	if drops == 0 {
+		t.Fatal("no OOS drops on a lossy best-effort path")
+	}
+	if oks == 0 {
+		t.Fatal("all OOS chunks dropped")
+	}
+}
+
+func TestContentAwareUrgentOvertakesQueued(t *testing.T) {
+	clock := sim.NewClock(1)
+	wifi := netem.NewPath(clock, "wifi", netem.Constant(8e6), 0, 0)
+	c := NewContentAware(clock, wifi)
+	var order []tiling.TileID
+	record := func(d netem.Delivery, ok bool) {}
+	_ = record
+	mk := func(tile int, urgent bool) *transport.Request {
+		r := mkReq(tile, transport.ClassFoV, urgent, 1e6, time.Hour, nil)
+		r.OnDone = func(d netem.Delivery, ok bool) { order = append(order, r.Chunk.Tile) }
+		return r
+	}
+	c.Submit(mk(1, false))
+	c.Submit(mk(2, false))
+	c.Submit(mk(3, true)) // urgent, submitted last
+	clock.Run()
+	if len(order) != 3 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	if order[1] != 3 {
+		t.Fatalf("urgent chunk delivered %v, want second (after in-flight)", order)
+	}
+}
+
+func TestContentAwareSinglePathDegenerate(t *testing.T) {
+	clock := sim.NewClock(1)
+	only := netem.NewPath(clock, "only", netem.Constant(8e6), 0, 0)
+	c := NewContentAware(clock, only)
+	delivered := 0
+	c.Submit(mkReq(1, transport.ClassOOS, false, 1e6, time.Minute, func(d netem.Delivery, ok bool) { delivered++ }))
+	c.Submit(mkReq(2, transport.ClassFoV, false, 1e6, time.Minute, func(d netem.Delivery, ok bool) { delivered++ }))
+	clock.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d on single path", delivered)
+	}
+}
+
+func TestContentAwareDuplicateUrgentTakesFirst(t *testing.T) {
+	clock := sim.NewClock(1)
+	fast := netem.NewPath(clock, "fast", netem.Constant(80e6), 0, 0)
+	slow := netem.NewPath(clock, "slow", netem.Constant(1e6), 0, 0)
+	c := NewContentAware(clock, fast, slow)
+	c.DuplicateUrgent = true
+	calls := 0
+	var done time.Duration
+	c.Submit(mkReq(1, transport.ClassFoV, true, 1e6, time.Minute, func(d netem.Delivery, ok bool) {
+		calls++
+		done = d.Done
+	}))
+	clock.Run()
+	if calls != 1 {
+		t.Fatalf("OnDone called %d times, want 1 (first copy wins)", calls)
+	}
+	if done > 500*time.Millisecond {
+		t.Fatalf("duplicated urgent done at %v, should ride the fast path", done)
+	}
+}
+
+func TestContentAwareBeatsMPTCPOnFoVDeadlines(t *testing.T) {
+	// The E8 headline: under an asymmetric two-path setup with a lossy
+	// secondary, content-aware scheduling meets more FoV deadlines than
+	// content-agnostic splitting.
+	run := func(build func(clock *sim.Clock, wifi, lte *netem.Path) transport.Scheduler) (met, total int) {
+		clock := sim.NewClock(7)
+		wifi := netem.NewPath(clock, "wifi", netem.Constant(6e6), 15*time.Millisecond, 0)
+		lte := netem.NewPath(clock, "lte", netem.Constant(5e6), 45*time.Millisecond, 0.05)
+		s := build(clock, wifi, lte)
+		// 30 intervals; per interval one 1.25 MB FoV super chunk (5 Mbps
+		// at 2s) + one 0.5 MB OOS bundle; deadlines 2s apart with 4s
+		// startup slack.
+		for i := 0; i < 30; i++ {
+			deadline := time.Duration(i+2) * 2 * time.Second
+			fov := mkReq(i*2, transport.ClassFoV, false, 1250_000, deadline, func(d netem.Delivery, ok bool) {
+				total++
+				if ok {
+					met++
+				}
+			})
+			oos := mkReq(i*2+1, transport.ClassOOS, false, 500_000, deadline, nil)
+			clock.Schedule(time.Duration(i)*2*time.Second, func() {
+				s.Submit(fov)
+				s.Submit(oos)
+			})
+		}
+		clock.Run()
+		return met, total
+	}
+	caMet, caTotal := run(func(clock *sim.Clock, wifi, lte *netem.Path) transport.Scheduler {
+		return NewContentAware(clock, wifi, lte)
+	})
+	mpMet, mpTotal := run(func(clock *sim.Clock, wifi, lte *netem.Path) transport.Scheduler {
+		return NewMPTCPLike(clock, wifi, lte)
+	})
+	if caTotal != 30 || mpTotal != 30 {
+		t.Fatalf("totals %d/%d", caTotal, mpTotal)
+	}
+	if caMet < mpMet {
+		t.Fatalf("content-aware met %d/30 FoV deadlines, MPTCP %d/30", caMet, mpMet)
+	}
+}

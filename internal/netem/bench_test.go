@@ -1,0 +1,33 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkFinishTime(b *testing.B) {
+	tr := MustSteps(
+		Step{0, 5e6}, Step{2 * time.Second, 1e6},
+		Step{5 * time.Second, 8e6}, Step{9 * time.Second, 3e6},
+	)
+	for i := 0; i < b.N; i++ {
+		tr.FinishTime(time.Duration(i%9)*time.Second, 4e6)
+	}
+}
+
+func BenchmarkEstimators(b *testing.B) {
+	b.Run("ewma", func(b *testing.B) {
+		var e EWMA
+		for i := 0; i < b.N; i++ {
+			e.Add(float64(1e6 + i%100))
+			e.Estimate()
+		}
+	})
+	b.Run("harmonic", func(b *testing.B) {
+		var h HarmonicMean
+		for i := 0; i < b.N; i++ {
+			h.Add(float64(1e6 + i%100))
+			h.Estimate()
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package netem_test
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/netem"
+	"sperke/internal/sim"
+)
+
+// ExampleParseTrace builds a link schedule the way CLI flags do — the
+// role `tc` scripts play in the paper's testbed (§3.4.1).
+func ExampleParseTrace() {
+	tr, err := netem.ParseTrace("0:8M,10s:1.5M")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rate at 5s: %.1f Mbps\n", tr.RateAt(5*time.Second)/1e6)
+	fmt.Printf("rate at 15s: %.1f Mbps\n", tr.RateAt(15*time.Second)/1e6)
+	// Output:
+	// rate at 5s: 8.0 Mbps
+	// rate at 15s: 1.5 Mbps
+}
+
+// ExamplePath transfers a chunk over an emulated link and reads the
+// throughput sample rate adaptation would consume.
+func ExamplePath() {
+	clock := sim.NewClock(1)
+	path := netem.NewPath(clock, "wifi", netem.Constant(8e6), 10*time.Millisecond, 0)
+	path.Transfer(1e6, netem.Reliable, func(d netem.Delivery) {
+		fmt.Printf("1 MB arrived at %v, throughput %.1f Mbps\n",
+			d.Done, d.Throughput()/1e6)
+	})
+	clock.Run()
+	// Output:
+	// 1 MB arrived at 1.01s, throughput 7.9 Mbps
+}

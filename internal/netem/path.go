@@ -1,0 +1,184 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sperke/internal/sim"
+)
+
+// Delivery reports the outcome of a transfer over a Path.
+type Delivery struct {
+	// Start is when the transfer was submitted; Service when the link
+	// began moving its bytes (after queueing behind earlier transfers);
+	// Done when the last byte (plus propagation) arrived.
+	Start, Service, Done time.Duration
+	// Bytes is the transfer size.
+	Bytes int64
+	// OK is false when a best-effort transfer was lost.
+	OK bool
+}
+
+// Throughput returns the observed goodput in bits/s over the service
+// span — what a sequential HTTP client measures per request. Queueing
+// behind the client's own earlier transfers is excluded, since a real
+// player issues requests one at a time.
+func (d Delivery) Throughput() float64 {
+	el := (d.Done - d.Service).Seconds()
+	if el <= 0 {
+		return math.Inf(1)
+	}
+	return float64(d.Bytes) * 8 / el
+}
+
+// QoS selects the delivery semantics of a transfer (§3.3: FoV chunks
+// reliable, OOS chunks best-effort).
+type QoS int
+
+const (
+	// Reliable delivers every transfer; loss shows up as reduced goodput
+	// (retransmissions), like TCP.
+	Reliable QoS = iota
+	// BestEffort delivers at full path rate but may drop the transfer
+	// entirely, like an unreliable datagram stream.
+	BestEffort
+)
+
+// Path is one emulated network path (e.g., "wifi" or "lte"): a FIFO
+// bottleneck link with a bandwidth trace, a fixed one-way propagation
+// latency, and a loss rate. Transfers submitted to a path serialize
+// behind each other, as HTTP fetches over a single TCP connection do.
+type Path struct {
+	Name    string
+	Latency time.Duration // one-way propagation
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter) to
+	// each delivery — queueing noise beyond this flow's own backlog.
+	Jitter time.Duration
+	Loss   float64 // packet loss probability in [0,1)
+
+	clock      *sim.Clock
+	trace      *BandwidthTrace
+	freeAt     time.Duration // when the link drains its current queue
+	inFlight   int
+	bytesMoved int64
+}
+
+// NewPath creates a path on the given clock. A nil trace means
+// unlimited bandwidth.
+func NewPath(clock *sim.Clock, name string, trace *BandwidthTrace, latency time.Duration, loss float64) *Path {
+	if loss < 0 || loss >= 1 {
+		panic(fmt.Sprintf("netem: loss %v out of [0,1)", loss))
+	}
+	return &Path{Name: name, Latency: latency, Loss: loss, clock: clock, trace: trace}
+}
+
+// SetTrace replaces the bandwidth schedule (takes effect for transfers
+// that start afterwards).
+func (p *Path) SetTrace(tr *BandwidthTrace) { p.trace = tr }
+
+// RateAt reports the path's raw rate at time t (Inf for unlimited).
+func (p *Path) RateAt(t time.Duration) float64 {
+	if p.trace == nil {
+		return math.Inf(1)
+	}
+	return p.trace.RateAt(t)
+}
+
+// goodputFactor converts raw rate into TCP-like goodput under loss:
+// retransmissions and window collapses eat throughput superlinearly.
+func (p *Path) goodputFactor() float64 {
+	f := (1 - p.Loss) * (1 - p.Loss)
+	return f
+}
+
+// InFlight reports the number of queued or active transfers.
+func (p *Path) InFlight() int { return p.inFlight }
+
+// BytesMoved reports the total bytes this path has delivered.
+func (p *Path) BytesMoved() int64 { return p.bytesMoved }
+
+// QueueDelay reports how long a transfer submitted now would wait before
+// its first byte is serviced — the signal multipath schedulers use to
+// pick the less-backed-up path.
+func (p *Path) QueueDelay() time.Duration {
+	if p.freeAt <= p.clock.Now() {
+		return 0
+	}
+	return p.freeAt - p.clock.Now()
+}
+
+// Transfer submits bytes for delivery with the given QoS and calls done
+// with the outcome when the transfer completes (or is dropped). The
+// returned event can be used to cancel a queued transfer; cancellation
+// after completion is a no-op. done may be nil.
+func (p *Path) Transfer(bytes int64, qos QoS, done func(Delivery)) *sim.Event {
+	now := p.clock.Now()
+	start := now
+	if p.freeAt > start {
+		start = p.freeAt
+	}
+	var finish time.Duration
+	rate := p.RateAt(start)
+	switch {
+	case p.trace == nil || math.IsInf(rate, 1):
+		finish = start
+	case qos == Reliable:
+		finish = p.trace.FinishTime(start, p.inflate(bytes))
+	default:
+		finish = p.trace.FinishTime(start, bytes)
+	}
+	p.freeAt = finish
+	p.inFlight++
+
+	ok := true
+	if qos == BestEffort && p.Loss > 0 {
+		// A chunk survives only if all of its ~64 KiB bursts survive.
+		bursts := float64(bytes)/65536 + 1
+		if p.clock.RNG("netem:"+p.Name).Float64() > math.Pow(1-p.Loss, bursts) {
+			ok = false
+		}
+	}
+	arrival := finish + p.Latency
+	if p.Jitter > 0 {
+		arrival += time.Duration(p.clock.RNG("jitter:" + p.Name).Int63n(int64(p.Jitter)))
+	}
+	return p.clock.Schedule(arrival, func() {
+		p.inFlight--
+		if ok {
+			p.bytesMoved += bytes
+		}
+		if done != nil {
+			done(Delivery{Start: now, Service: start, Done: p.clock.Now(), Bytes: bytes, OK: ok})
+		}
+	})
+}
+
+// EstimateTransferTime predicts how long a reliable transfer of bytes
+// submitted now would take, including queueing and propagation — the
+// planning primitive VRA and multipath schedulers use.
+func (p *Path) EstimateTransferTime(bytes int64) time.Duration {
+	now := p.clock.Now()
+	start := now
+	if p.freeAt > start {
+		start = p.freeAt
+	}
+	if p.trace == nil {
+		return start - now + p.Latency
+	}
+	finish := p.trace.FinishTime(start, p.inflate(bytes))
+	return finish - now + p.Latency
+}
+
+// inflate stretches a reliable transfer by the inverse goodput factor to
+// model retransmissions under loss. Loss-free paths move bytes exactly.
+func (p *Path) inflate(bytes int64) int64 {
+	if p.Loss == 0 {
+		return bytes
+	}
+	eff := p.goodputFactor()
+	if eff <= 0 {
+		eff = 1e-9
+	}
+	return int64(math.Ceil(float64(bytes) / eff))
+}

@@ -1,0 +1,205 @@
+package player
+
+import (
+	"container/list"
+	"time"
+
+	"sperke/internal/tiling"
+)
+
+// ChunkCache is the encoded-chunk cache of Fig. 4: fetched chunks wait
+// in main memory until the decoding scheduler consumes them. It evicts
+// least-recently-used entries when a byte budget is exceeded.
+type ChunkCache struct {
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent; values are *chunkEntry
+	byID   map[tiling.ChunkID]*list.Element
+
+	evictions int
+}
+
+type chunkEntry struct {
+	id    tiling.ChunkID
+	bytes int64
+}
+
+// NewChunkCache creates a cache with the given byte budget (<=0 means
+// unlimited).
+func NewChunkCache(budget int64) *ChunkCache {
+	return &ChunkCache{
+		budget: budget,
+		lru:    list.New(),
+		byID:   make(map[tiling.ChunkID]*list.Element),
+	}
+}
+
+// Put stores (or refreshes) a chunk of the given size, evicting LRU
+// entries as needed.
+func (c *ChunkCache) Put(id tiling.ChunkID, bytes int64) {
+	if e, ok := c.byID[id]; ok {
+		ent := e.Value.(*chunkEntry)
+		c.used += bytes - ent.bytes
+		ent.bytes = bytes
+		c.lru.MoveToFront(e)
+	} else {
+		c.byID[id] = c.lru.PushFront(&chunkEntry{id: id, bytes: bytes})
+		c.used += bytes
+	}
+	if c.budget > 0 {
+		for c.used > c.budget && c.lru.Len() > 1 {
+			c.evictOldest()
+		}
+	}
+}
+
+func (c *ChunkCache) evictOldest() {
+	e := c.lru.Back()
+	if e == nil {
+		return
+	}
+	ent := e.Value.(*chunkEntry)
+	c.lru.Remove(e)
+	delete(c.byID, ent.id)
+	c.used -= ent.bytes
+	c.evictions++
+}
+
+// Has reports whether the chunk is cached, refreshing its recency.
+func (c *ChunkCache) Has(id tiling.ChunkID) bool {
+	e, ok := c.byID[id]
+	if ok {
+		c.lru.MoveToFront(e)
+	}
+	return ok
+}
+
+// Remove drops a chunk (after it has been decoded, or superseded).
+func (c *ChunkCache) Remove(id tiling.ChunkID) {
+	if e, ok := c.byID[id]; ok {
+		ent := e.Value.(*chunkEntry)
+		c.lru.Remove(e)
+		delete(c.byID, id)
+		c.used -= ent.bytes
+	}
+}
+
+// Used returns the cached bytes; Len the entry count; Evictions the
+// number of budget evictions so far.
+func (c *ChunkCache) Used() int64    { return c.used }
+func (c *ChunkCache) Len() int       { return c.lru.Len() }
+func (c *ChunkCache) Evictions() int { return c.evictions }
+
+// FrameCacheKey identifies a decoded tile for one time interval at one
+// quality.
+type FrameCacheKey struct {
+	Tile     tiling.TileID
+	Interval int
+	Quality  int
+}
+
+// FrameCache is the decoded-frame cache of §3.5: uncompressed tiles in
+// video memory (FBOs in the prototype). Its two payoffs, which E13
+// measures, are (a) decoders work asynchronously ahead of render and
+// (b) when HMP was wrong, the FoV shifts by decoding only the missing
+// "delta" tiles instead of the whole view.
+type FrameCache struct {
+	slots int
+	lru   *list.List
+	byKey map[FrameCacheKey]*list.Element
+
+	hits, misses int
+}
+
+// NewFrameCache creates a cache holding up to slots decoded tiles
+// (video memory is the scarce resource; each uncompressed 2K tile is
+// ~1.3 MB at NV12).
+func NewFrameCache(slots int) *FrameCache {
+	if slots < 1 {
+		slots = 1
+	}
+	return &FrameCache{
+		slots: slots,
+		lru:   list.New(),
+		byKey: make(map[FrameCacheKey]*list.Element),
+	}
+}
+
+// Put inserts a decoded tile, evicting the LRU tile if full.
+func (f *FrameCache) Put(k FrameCacheKey) {
+	if e, ok := f.byKey[k]; ok {
+		f.lru.MoveToFront(e)
+		return
+	}
+	for f.lru.Len() >= f.slots {
+		e := f.lru.Back()
+		delete(f.byKey, e.Value.(FrameCacheKey))
+		f.lru.Remove(e)
+	}
+	f.byKey[k] = f.lru.PushFront(k)
+}
+
+// Has reports whether the tile is cached, counting a hit or miss and
+// refreshing recency on hit.
+func (f *FrameCache) Has(k FrameCacheKey) bool {
+	e, ok := f.byKey[k]
+	if ok {
+		f.lru.MoveToFront(e)
+		f.hits++
+		return true
+	}
+	f.misses++
+	return false
+}
+
+// Len returns the cached tile count.
+func (f *FrameCache) Len() int { return f.lru.Len() }
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (f *FrameCache) HitRate() float64 {
+	t := f.hits + f.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(f.hits) / float64(t)
+}
+
+// ShiftResult describes the cost of moving the FoV after an HMP error.
+type ShiftResult struct {
+	// DeltaTiles are the newly visible tiles that had to come from
+	// somewhere.
+	DeltaTiles int
+	// CacheHits of those were already decoded (fetched earlier as OOS).
+	CacheHits int
+	// Redecoded tiles had to be decoded synchronously before display.
+	Redecoded int
+	// Stall is the render hiccup the re-decodes caused.
+	Stall time.Duration
+}
+
+// Shift computes the cost of changing the visible tile set from old to
+// new at the given interval and quality. With the frame cache, only
+// missing delta tiles are decoded; the §3.5 contrast — re-decoding the
+// entire new FoV — is what you get with an empty cache.
+func (f *FrameCache) Shift(cfg PipelineConfig, old, new []tiling.TileID, interval, quality int) ShiftResult {
+	inOld := make(map[tiling.TileID]bool, len(old))
+	for _, id := range old {
+		inOld[id] = true
+	}
+	var res ShiftResult
+	for _, id := range new {
+		if inOld[id] {
+			continue
+		}
+		res.DeltaTiles++
+		if f.Has(FrameCacheKey{Tile: id, Interval: interval, Quality: quality}) {
+			res.CacheHits++
+			continue
+		}
+		res.Redecoded++
+	}
+	// Re-decodes block the next frame: they run synchronously because
+	// the frame must display now.
+	res.Stall = time.Duration(res.Redecoded) * cfg.Device.Decoder.SyncDecodeTime(cfg.TilePixels())
+	return res
+}

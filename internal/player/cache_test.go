@@ -1,0 +1,158 @@
+package player
+
+import (
+	"testing"
+	"time"
+
+	"sperke/internal/codec"
+	"sperke/internal/tiling"
+)
+
+func cid(q, tile, startSec int) tiling.ChunkID {
+	return tiling.ChunkID{Quality: q, Tile: tiling.TileID(tile), Start: time.Duration(startSec) * time.Second}
+}
+
+func TestChunkCachePutHasRemove(t *testing.T) {
+	c := NewChunkCache(0)
+	c.Put(cid(1, 2, 0), 100)
+	if !c.Has(cid(1, 2, 0)) {
+		t.Fatal("missing just-put chunk")
+	}
+	if c.Has(cid(1, 3, 0)) {
+		t.Fatal("phantom chunk")
+	}
+	if c.Used() != 100 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d", c.Used(), c.Len())
+	}
+	c.Remove(cid(1, 2, 0))
+	if c.Has(cid(1, 2, 0)) || c.Used() != 0 || c.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	c.Remove(cid(1, 2, 0)) // idempotent
+}
+
+func TestChunkCacheEvictsLRU(t *testing.T) {
+	c := NewChunkCache(300)
+	c.Put(cid(0, 0, 0), 100)
+	c.Put(cid(0, 1, 0), 100)
+	c.Put(cid(0, 2, 0), 100)
+	// Touch tile 0 so tile 1 is LRU.
+	c.Has(cid(0, 0, 0))
+	c.Put(cid(0, 3, 0), 100) // over budget → evict tile 1
+	if c.Has(cid(0, 1, 0)) {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if !c.Has(cid(0, 0, 0)) || !c.Has(cid(0, 3, 0)) {
+		t.Fatal("wrong entry evicted")
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d", c.Evictions())
+	}
+	if c.Used() > 300 {
+		t.Fatalf("Used %d exceeds budget", c.Used())
+	}
+}
+
+func TestChunkCachePutUpdatesSize(t *testing.T) {
+	c := NewChunkCache(0)
+	c.Put(cid(0, 0, 0), 100)
+	c.Put(cid(0, 0, 0), 250) // same chunk re-put (e.g. upgraded layers)
+	if c.Used() != 250 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d after re-put", c.Used(), c.Len())
+	}
+}
+
+func TestChunkCacheKeepsAtLeastOne(t *testing.T) {
+	c := NewChunkCache(10)
+	c.Put(cid(0, 0, 0), 100) // bigger than budget — still kept (can't evict itself)
+	if c.Len() != 1 {
+		t.Fatal("sole oversized entry evicted")
+	}
+}
+
+func TestFrameCacheLRUEviction(t *testing.T) {
+	f := NewFrameCache(2)
+	k1 := FrameCacheKey{Tile: 1}
+	k2 := FrameCacheKey{Tile: 2}
+	k3 := FrameCacheKey{Tile: 3}
+	f.Put(k1)
+	f.Put(k2)
+	f.Has(k1) // refresh k1; k2 becomes LRU
+	f.Put(k3)
+	if f.Has(k2) {
+		t.Fatal("LRU tile survived")
+	}
+	if !f.Has(k1) || !f.Has(k3) {
+		t.Fatal("wrong tile evicted")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFrameCacheHitRate(t *testing.T) {
+	f := NewFrameCache(4)
+	if f.HitRate() != 0 {
+		t.Fatal("hit rate before lookups")
+	}
+	f.Put(FrameCacheKey{Tile: 1})
+	f.Has(FrameCacheKey{Tile: 1}) // hit
+	f.Has(FrameCacheKey{Tile: 9}) // miss
+	if f.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", f.HitRate())
+	}
+}
+
+func TestFrameCachePutIdempotent(t *testing.T) {
+	f := NewFrameCache(2)
+	f.Put(FrameCacheKey{Tile: 1})
+	f.Put(FrameCacheKey{Tile: 1})
+	if f.Len() != 1 {
+		t.Fatalf("duplicate put created %d entries", f.Len())
+	}
+}
+
+func TestShiftDeltaOnly(t *testing.T) {
+	cfg, err := Figure5Config(codec.SGS7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFrameCache(8)
+	// Old FoV: tiles 1,2; new FoV: tiles 2,3,4. Tile 3 is cached (was
+	// fetched as OOS), 4 is not.
+	f.Put(FrameCacheKey{Tile: 3, Interval: 7, Quality: 2})
+	res := f.Shift(cfg, []tiling.TileID{1, 2}, []tiling.TileID{2, 3, 4}, 7, 2)
+	if res.DeltaTiles != 2 {
+		t.Fatalf("DeltaTiles = %d, want 2", res.DeltaTiles)
+	}
+	if res.CacheHits != 1 || res.Redecoded != 1 {
+		t.Fatalf("hits=%d redecoded=%d, want 1/1", res.CacheHits, res.Redecoded)
+	}
+	want := cfg.Device.Decoder.SyncDecodeTime(cfg.TilePixels())
+	if res.Stall != want {
+		t.Fatalf("Stall = %v, want %v", res.Stall, want)
+	}
+}
+
+func TestShiftNoChangeNoCost(t *testing.T) {
+	cfg, _ := Figure5Config(codec.SGS7, 2)
+	f := NewFrameCache(8)
+	res := f.Shift(cfg, []tiling.TileID{1, 2}, []tiling.TileID{1, 2}, 0, 0)
+	if res.DeltaTiles != 0 || res.Stall != 0 {
+		t.Fatalf("no-op shift cost %+v", res)
+	}
+}
+
+func TestShiftWithEmptyCacheRedecodesAll(t *testing.T) {
+	// The §3.5 contrast: without cached OOS tiles the whole new FoV
+	// re-decodes, a much longer stall.
+	cfg, _ := Figure5Config(codec.SGS7, 2)
+	f := NewFrameCache(8)
+	res := f.Shift(cfg, nil, []tiling.TileID{0, 1, 2, 3}, 0, 0)
+	if res.Redecoded != 4 {
+		t.Fatalf("Redecoded = %d, want 4", res.Redecoded)
+	}
+	if res.Stall <= 3*cfg.Device.Decoder.SyncDecodeTime(cfg.TilePixels()) {
+		t.Fatal("full re-decode stall implausibly small")
+	}
+}

@@ -1,0 +1,230 @@
+// Package player implements the client-side rendering pipeline of
+// Fig. 4: the decoding scheduler feeding parallel hardware decoders, the
+// encoded-chunk cache in main memory, the decoded-frame cache in video
+// memory (OpenGL FBOs in the prototype), and the projection/display
+// stage. It reproduces the §3.5 measurements: how the pipeline's
+// structure — serial vs parallel decode, cached vs re-decoded frames,
+// all-tile vs FoV-only rendering — determines the achievable frame rate
+// (Figure 5).
+package player
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/codec"
+	"sperke/internal/sphere"
+	"sperke/internal/tiling"
+	"sperke/internal/trace"
+)
+
+// PipelineConfig selects one rendering configuration.
+type PipelineConfig struct {
+	Device codec.DeviceProfile
+	Grid   tiling.Grid
+	// FrameWidth and FrameHeight are the full-panorama luma dimensions
+	// (the §3.5 experiment uses a 2K 2560×1440 source).
+	FrameWidth, FrameHeight int
+	// Decoders is how many of the device's hardware decoders the
+	// pipeline uses in parallel.
+	Decoders int
+	// FrameCache enables the §3.5 optimizations: decoders run
+	// asynchronously and deposit uncompressed tiles into the video-memory
+	// cache, hiding submission overhead and decoupling decode from
+	// render.
+	FrameCache bool
+	// RenderFoVOnly renders only the tiles inside the current FoV
+	// instead of the whole panorama.
+	RenderFoVOnly bool
+	FoV           sphere.FoV
+	Projection    sphere.Projection
+}
+
+// Validate reports configuration problems.
+func (c *PipelineConfig) Validate() error {
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.FrameWidth <= 0 || c.FrameHeight <= 0 {
+		return fmt.Errorf("player: frame %dx%d", c.FrameWidth, c.FrameHeight)
+	}
+	if c.Decoders <= 0 || c.Decoders > c.Device.HWDecoders {
+		return fmt.Errorf("player: %d decoders outside device range 1..%d", c.Decoders, c.Device.HWDecoders)
+	}
+	return nil
+}
+
+// TilePixels returns the luma pixels of one tile.
+func (c *PipelineConfig) TilePixels() int64 {
+	return int64(c.FrameWidth) * int64(c.FrameHeight) / int64(c.Grid.Tiles())
+}
+
+// framePixels returns the full-panorama pixel count.
+func (c *PipelineConfig) framePixels() int64 {
+	return int64(c.FrameWidth) * int64(c.FrameHeight)
+}
+
+// renderedPixels returns how many pixels the render stage touches per
+// frame: the whole panorama texture, or only the FoV's share when
+// RenderFoVOnly is set.
+func (c *PipelineConfig) renderedPixels() int64 {
+	if !c.RenderFoVOnly {
+		return c.framePixels()
+	}
+	frac := c.FoV.SphereFraction()
+	if frac <= 0 || frac > 1 {
+		frac = 0.2
+	}
+	return int64(float64(c.framePixels()) * frac)
+}
+
+// decodedTiles returns how many tiles must be decoded per frame: all of
+// them when rendering the panorama, the visible set when FoV-only.
+func (c *PipelineConfig) decodedTiles(view sphere.Orientation) int {
+	if !c.RenderFoVOnly {
+		return c.Grid.Tiles()
+	}
+	if c.Projection == nil {
+		return c.Grid.Tiles()
+	}
+	return len(tiling.VisibleTiles(c.Grid, c.Projection, view, c.FoV))
+}
+
+// FrameTime returns the wall time one frame takes in this configuration
+// for the given view direction.
+//
+// Without the frame cache every tile decode serializes on the render
+// thread (paying submission overhead each time) and render follows;
+// with it, decode runs on the pool concurrently with render, so the
+// frame period is whichever stage is slower.
+func (c *PipelineConfig) FrameTime(view sphere.Orientation) time.Duration {
+	tiles := c.decodedTiles(view)
+	render := c.Device.RenderTime(c.renderedPixels())
+	if !c.FrameCache {
+		decodeAll := time.Duration(tiles) * c.Device.Decoder.SyncDecodeTime(c.TilePixels())
+		return decodeAll + render
+	}
+	// Async: each decoder handles ⌈tiles/decoders⌉ tiles per frame.
+	waves := (tiles + c.Decoders - 1) / c.Decoders
+	decodeStage := time.Duration(waves) * c.Device.Decoder.DecodeTime(c.TilePixels())
+	period := render
+	if decodeStage > period {
+		period = decodeStage
+	}
+	return period
+}
+
+// FPSResult is the outcome of a pipeline simulation.
+type FPSResult struct {
+	Frames int
+	// FPS is the mean achieved frame rate, capped by the display.
+	FPS float64
+}
+
+// SimulateFPS replays a head trace through the pipeline for its
+// duration and returns the achieved frame rate.
+func SimulateFPS(cfg PipelineConfig, head *trace.HeadTrace, dur time.Duration) (FPSResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FPSResult{}, err
+	}
+	if dur <= 0 {
+		return FPSResult{}, fmt.Errorf("player: non-positive duration")
+	}
+	minPeriod := time.Duration(float64(time.Second) / cfg.Device.MaxDisplayFPS)
+	var t time.Duration
+	frames := 0
+	for t < dur {
+		view := sphere.Orientation{}
+		if head != nil {
+			view = head.At(t)
+		}
+		ft := cfg.FrameTime(view)
+		if ft < minPeriod {
+			ft = minPeriod
+		}
+		t += ft
+		frames++
+	}
+	return FPSResult{Frames: frames, FPS: float64(frames) / t.Seconds()}, nil
+}
+
+// Figure5Config returns the three §3.5 configurations on the given
+// device with the paper's 2K, 2×4-tile setup:
+//
+//	1 — render all tiles without optimization (serial decode+render)
+//	2 — render all tiles with optimization (8 parallel decoders + cache)
+//	3 — render only FoV tiles with optimization
+func Figure5Config(device codec.DeviceProfile, config int) (PipelineConfig, error) {
+	base := PipelineConfig{
+		Device:      device,
+		Grid:        tiling.GridPrototype, // 2×4
+		FrameWidth:  2560,
+		FrameHeight: 1440,
+		FoV:         sphere.DefaultFoV,
+		Projection:  sphere.Equirectangular{},
+	}
+	switch config {
+	case 1:
+		base.Decoders = 1
+		base.FrameCache = false
+		base.RenderFoVOnly = false
+	case 2:
+		base.Decoders = 8
+		base.FrameCache = true
+		base.RenderFoVOnly = false
+	case 3:
+		base.Decoders = 8
+		base.FrameCache = true
+		base.RenderFoVOnly = true
+	default:
+		return PipelineConfig{}, fmt.Errorf("player: figure 5 has configs 1..3, got %d", config)
+	}
+	return base, nil
+}
+
+// HEVCTilesFrameTime models the §3.5 comparison point: the H.265
+// built-in "tiles" mechanism [40]. HEVC tiles parallelize decoding
+// *within one decoder session* — the bitstream is one panorama, so the
+// whole frame must always be decoded (no FoV-only decode, no per-tile
+// quality) and intra-frame tile parallelism carries a synchronization
+// penalty. It beats serial decoding but cannot skip non-FoV work, which
+// is why it loses to Sperke's independent per-tile streams.
+func (c *PipelineConfig) HEVCTilesFrameTime() time.Duration {
+	// Parallel efficiency of intra-frame tile threads (shared entropy
+	// state, loop-filter sync): ~70%.
+	const parallelEff = 0.7
+	threads := c.Decoders
+	if threads > c.Grid.Tiles() {
+		threads = c.Grid.Tiles()
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	decode := time.Duration(float64(c.framePixels()) /
+		(c.Device.Decoder.PixelRate * float64(threads) * parallelEff) * float64(time.Second))
+	decode += c.Device.Decoder.SubmitOverhead // one session submission per frame
+	render := c.Device.RenderTime(c.renderedPixels())
+	// One decoder session: decode and render serialize on the frame.
+	return decode + render
+}
+
+// SimulateHEVCTilesFPS measures the HEVC-tiles pipeline's frame rate
+// for the same configuration geometry.
+func SimulateHEVCTilesFPS(cfg PipelineConfig, dur time.Duration) (FPSResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FPSResult{}, err
+	}
+	if dur <= 0 {
+		return FPSResult{}, fmt.Errorf("player: non-positive duration")
+	}
+	minPeriod := time.Duration(float64(time.Second) / cfg.Device.MaxDisplayFPS)
+	ft := cfg.HEVCTilesFrameTime()
+	if ft < minPeriod {
+		ft = minPeriod
+	}
+	frames := int(dur / ft)
+	if frames < 1 {
+		frames = 1
+	}
+	return FPSResult{Frames: frames, FPS: float64(time.Second) / float64(ft)}, nil
+}

@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"sperke/internal/sim"
+)
+
+// ExampleClock shows the kernel every substrate runs on: schedule,
+// run, observe deterministic virtual time.
+func ExampleClock() {
+	clock := sim.NewClock(1)
+	clock.After(2*time.Second, func() {
+		fmt.Println("chunk deadline at", clock.Now())
+	})
+	clock.Schedule(time.Second, func() {
+		fmt.Println("fetch completes at", clock.Now())
+	})
+	clock.Run()
+	// Output:
+	// fetch completes at 1s
+	// chunk deadline at 2s
+}

@@ -1,0 +1,182 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// used by every Sperke substrate that needs virtual time: the network
+// emulator, the streaming session loop, the live-broadcast pipeline, and
+// the player pipeline.
+//
+// The kernel is intentionally small: a virtual clock, a priority queue of
+// timestamped events, and seeded random-number streams. Everything above
+// it (links, players, servers) is expressed as events scheduled on a
+// *Clock. Running the same scenario with the same seed produces
+// byte-for-byte identical results, which is what makes the experiment
+// harness reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a unit of scheduled work. Events run in timestamp order;
+// events with equal timestamps run in scheduling order (FIFO), which
+// keeps the simulation deterministic without requiring callers to
+// tie-break.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a virtual clock driving a discrete-event simulation. The zero
+// value is not usable; create one with NewClock.
+type Clock struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	rngs   map[string]*rand.Rand
+	seed   int64
+	halted bool
+}
+
+// NewClock returns a clock at virtual time zero whose random streams are
+// derived from seed.
+func NewClock(seed int64) *Clock {
+	return &Clock{rngs: make(map[string]*rand.Rand), seed: seed}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Seed reports the seed the clock's random streams derive from.
+func (c *Clock) Seed() int64 { return c.seed }
+
+// RNG returns the named deterministic random stream, creating it on
+// first use. Distinct names give independent streams; the same name
+// always gives the same stream for a given clock seed, regardless of the
+// order streams are created in.
+func (c *Clock) RNG(name string) *rand.Rand {
+	if r, ok := c.rngs[name]; ok {
+		return r
+	}
+	// Derive a per-stream seed from the clock seed and the stream name
+	// with a simple FNV-1a fold: stable across runs and Go versions.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	r := rand.New(rand.NewSource(c.seed ^ int64(h)))
+	c.rngs[name] = r
+	return r
+}
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the
+// past (before Now) is an error in the caller; the kernel panics to
+// surface it immediately rather than silently reordering time.
+func (c *Clock) Schedule(at time.Duration, fn func()) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, c.now))
+	}
+	e := &Event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After runs fn after delay d, like time.AfterFunc on virtual time.
+func (c *Clock) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.Schedule(c.now+d, fn)
+}
+
+// Halt stops the currently executing Run/RunUntil after the current
+// event returns.
+func (c *Clock) Halt() { c.halted = true }
+
+// Pending reports the number of events waiting to fire (including
+// cancelled events not yet drained).
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Step fires the single next event, advancing time to it. It reports
+// whether an event fired.
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Halt is called.
+func (c *Clock) Run() {
+	c.halted = false
+	for !c.halted && c.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the clock
+// to exactly deadline afterwards even if no event landed on it.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	c.halted = false
+	for !c.halted {
+		if len(c.queue) == 0 {
+			break
+		}
+		// Peek: the heap root is the earliest event.
+		if c.queue[0].at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, firing everything that falls inside.
+func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.now + d) }

@@ -1,0 +1,35 @@
+package sphere
+
+import "testing"
+
+func BenchmarkEquirectForward(b *testing.B) {
+	var p Equirectangular
+	o := Orientation{Yaw: 37, Pitch: -12}
+	for i := 0; i < b.N; i++ {
+		p.Forward(o)
+	}
+}
+
+func BenchmarkCubeMapForward(b *testing.B) {
+	var p CubeMap
+	o := Orientation{Yaw: 37, Pitch: -12}
+	for i := 0; i < b.N; i++ {
+		p.Forward(o)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	view := Orientation{Yaw: 30, Pitch: 10, Roll: 5}
+	target := Orientation{Yaw: 55, Pitch: -3}
+	for i := 0; i < b.N; i++ {
+		Contains(view, DefaultFoV, target)
+	}
+}
+
+func BenchmarkAngularDistance(b *testing.B) {
+	x := Orientation{Yaw: 170, Pitch: 40}
+	y := Orientation{Yaw: -120, Pitch: -10}
+	for i := 0; i < b.N; i++ {
+		AngularDistance(x, y)
+	}
+}

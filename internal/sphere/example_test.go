@@ -1,0 +1,42 @@
+package sphere_test
+
+import (
+	"fmt"
+
+	"sperke/internal/sphere"
+)
+
+// ExampleContains shows the basic FoV test every tiling decision builds
+// on: is a direction inside the viewer's frustum?
+func ExampleContains() {
+	view := sphere.Orientation{Yaw: 30, Pitch: 0}
+	fov := sphere.DefaultFoV // 100° × 90°
+
+	fmt.Println(sphere.Contains(view, fov, sphere.Orientation{Yaw: 60}))
+	fmt.Println(sphere.Contains(view, fov, sphere.Orientation{Yaw: -150}))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleFoV_SphereFraction derives the paper's §1 size claim: a 360°
+// video carries the whole sphere while a conventional one carries only
+// the FoV — about a 5× ratio.
+func ExampleFoV_SphereFraction() {
+	frac := sphere.DefaultFoV.SphereFraction()
+	fmt.Printf("FoV covers %.0f%% of the sphere → 360° is %.1fx larger\n",
+		frac*100, 1/frac)
+	// Output:
+	// FoV covers 18% of the sphere → 360° is 5.5x larger
+}
+
+// ExampleEquirectangular round-trips a viewing direction through the
+// projection YouTube uses.
+func ExampleEquirectangular() {
+	var p sphere.Equirectangular
+	u, v := p.Forward(sphere.Orientation{Yaw: 90, Pitch: 45})
+	back := p.Inverse(u, v)
+	fmt.Printf("u=%.3f v=%.3f → %v\n", u, v, back)
+	// Output:
+	// u=0.750 v=0.250 → (yaw 90.0°, pitch 45.0°, roll 0.0°)
+}

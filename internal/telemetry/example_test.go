@@ -1,0 +1,38 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"sperke/internal/sphere"
+	"sperke/internal/telemetry"
+	"sperke/internal/trace"
+)
+
+// Example shows the §3.2 record lifecycle: encode a session, decode it
+// at the collector, and check the upload stays under the paper's 5 Kbps
+// budget.
+func Example() {
+	head := &trace.HeadTrace{Samples: []trace.Sample{
+		{At: 0, View: sphere.Orientation{Yaw: 10}},
+		{At: 20 * time.Millisecond, View: sphere.Orientation{Yaw: 11}},
+	}}
+	rec := telemetry.FromHeadTrace("my-video", "alice",
+		trace.Context{Pose: trace.Sitting}, head)
+
+	var wire bytes.Buffer
+	if err := telemetry.Encode(&wire, rec); err != nil {
+		panic(err)
+	}
+	back, err := telemetry.Decode(&wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decoded %d samples from %q\n", len(back.Samples), back.UserID)
+	fmt.Printf("50 Hz stream costs %.1f Kbps (budget: 5)\n",
+		telemetry.BitrateBPS(20*time.Millisecond)/1000)
+	// Output:
+	// decoded 2 samples from "alice"
+	// 50 Hz stream costs 2.4 Kbps (budget: 5)
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"sperke/internal/sphere"
+	"sperke/internal/trace"
+)
+
+// FuzzDecode hardens the telemetry decoder against hostile uploads (the
+// collector is an open HTTP endpoint): no panics, and accepted records
+// re-encode consistently.
+func FuzzDecode(f *testing.F) {
+	rec := &Record{
+		VideoID: "v", UserID: "u", Rating: 3,
+		Context: trace.Context{Pose: trace.Standing, Engaged: 0.5},
+		Samples: []trace.Sample{
+			{View: sphere.Orientation{Yaw: 10, Pitch: -5}},
+			{View: sphere.Orientation{Yaw: 12, Pitch: -4}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SPTL"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted records re-encode without error and decode again to
+		// the same identity fields and sample count.
+		var out bytes.Buffer
+		if err := Encode(&out, got); err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded record does not decode: %v", err)
+		}
+		if again.VideoID != got.VideoID || again.UserID != got.UserID ||
+			len(again.Samples) != len(got.Samples) {
+			t.Fatal("double round-trip drifted")
+		}
+	})
+}

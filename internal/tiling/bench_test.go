@@ -1,0 +1,26 @@
+package tiling
+
+import (
+	"testing"
+
+	"sperke/internal/sphere"
+)
+
+func BenchmarkVisibleTiles(b *testing.B) {
+	g := GridCellular
+	p := sphere.Equirectangular{}
+	view := sphere.Orientation{Yaw: 42, Pitch: 17}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		VisibleTiles(g, p, view, sphere.DefaultFoV)
+	}
+}
+
+func BenchmarkRing(b *testing.B) {
+	g := GridCellular
+	fov := VisibleTiles(g, sphere.Equirectangular{}, sphere.Orientation{}, sphere.DefaultFoV)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Ring(g, fov, 2)
+	}
+}

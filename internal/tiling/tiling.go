@@ -1,0 +1,270 @@
+// Package tiling implements Sperke's spatial segmentation substrate
+// (Fig. 2 of the paper): a panoramic video is divided into a grid of
+// tiles in projected texture space, each tile is encoded at multiple
+// quality levels, and each (quality, tile) pair is split temporally into
+// chunks. A chunk C(q, l, t) is the smallest downloadable unit.
+//
+// The package answers the two geometric questions FoV-guided streaming
+// asks every scheduling round:
+//
+//  1. which tiles cover the (predicted) FoV, and
+//  2. which tiles form the surrounding out-of-sight (OOS) rings that
+//     absorb head-movement prediction error (§3.1.1).
+package tiling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sperke/internal/sphere"
+)
+
+// TileID identifies a tile within a Grid, row-major from the top-left.
+type TileID int
+
+// Grid is a Rows×Cols tile partition of the projected frame. The
+// paper's prototype uses 2×4 on a 2K video (§3.5); its cellular study
+// [37] uses 4×6.
+type Grid struct {
+	Rows, Cols int
+}
+
+// Common grids referenced by the paper and its citations.
+var (
+	GridPrototype = Grid{Rows: 2, Cols: 4} // §3.5 preliminary system
+	GridCellular  = Grid{Rows: 4, Cols: 6} // [37]
+)
+
+// Validate reports an error for degenerate grids.
+func (g Grid) Validate() error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("tiling: invalid grid %dx%d", g.Rows, g.Cols)
+	}
+	return nil
+}
+
+// Tiles returns the number of tiles in the grid.
+func (g Grid) Tiles() int { return g.Rows * g.Cols }
+
+// Tile returns the TileID at (row, col), wrapping the column around the
+// yaw seam and clamping the row at the poles.
+func (g Grid) Tile(row, col int) TileID {
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	col %= g.Cols
+	if col < 0 {
+		col += g.Cols
+	}
+	return TileID(row*g.Cols + col)
+}
+
+// RowCol returns the (row, col) of a tile.
+func (g Grid) RowCol(id TileID) (row, col int) {
+	return int(id) / g.Cols, int(id) % g.Cols
+}
+
+// Valid reports whether id addresses a tile of this grid.
+func (g Grid) Valid(id TileID) bool { return id >= 0 && int(id) < g.Tiles() }
+
+// Rect returns the tile's texture-space rectangle [u0,u1)×[v0,v1).
+func (g Grid) Rect(id TileID) (u0, v0, u1, v1 float64) {
+	row, col := g.RowCol(id)
+	u0 = float64(col) / float64(g.Cols)
+	u1 = float64(col+1) / float64(g.Cols)
+	v0 = float64(row) / float64(g.Rows)
+	v1 = float64(row+1) / float64(g.Rows)
+	return u0, v0, u1, v1
+}
+
+// TileAt returns the tile containing texture coordinates (u, v),
+// clamping coordinates into [0,1).
+func (g Grid) TileAt(u, v float64) TileID {
+	if u < 0 {
+		u = 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	col := int(u * float64(g.Cols))
+	row := int(v * float64(g.Rows))
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return TileID(row*g.Cols + col)
+}
+
+// Center returns the viewing direction of the tile's center under the
+// given projection.
+func (g Grid) Center(id TileID, p sphere.Projection) sphere.Orientation {
+	u0, v0, u1, v1 := g.Rect(id)
+	return p.Inverse((u0+u1)/2, (v0+v1)/2)
+}
+
+// fovSamples controls the sampling density of VisibleTiles. A 17×17
+// lattice over the frustum is dense enough that no tile bigger than
+// FoV/16 can slip between samples; the prototype grids are far coarser
+// than that.
+const fovSamples = 17
+
+// VisibleTiles returns the sorted set of tiles that cover any part of
+// the FoV when looking along view, under projection p. The result is
+// the minimal fetch set when head-movement prediction is perfect
+// (§3.1.2, "super chunk" construction).
+func VisibleTiles(g Grid, p sphere.Projection, view sphere.Orientation, fov sphere.FoV) []TileID {
+	seen := make(map[TileID]bool)
+	for i := 0; i < fovSamples; i++ {
+		for j := 0; j < fovSamples; j++ {
+			// Sample the frustum on a regular angular lattice including
+			// the edges.
+			hx := (float64(i)/(fovSamples-1) - 0.5) * fov.Width
+			hy := (float64(j)/(fovSamples-1) - 0.5) * fov.Height
+			dir := frustumDirection(view, hx, hy)
+			u, v := p.Forward(dir)
+			seen[g.TileAt(u, v)] = true
+		}
+	}
+	out := make([]TileID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// frustumDirection returns the world direction at view-space angles
+// (hx, hy) degrees from the view axis, honoring roll.
+func frustumDirection(view sphere.Orientation, hx, hy float64) sphere.Orientation {
+	// Build the direction in view space, then rotate into world space by
+	// applying roll, pitch, yaw (the inverse order of sphere.angleInView).
+	local := sphere.Orientation{Yaw: hx, Pitch: hy}.Direction()
+	v := rotZ(local, view.Roll)
+	v = rotX(v, view.Pitch)
+	v = rotY(v, view.Yaw)
+	return sphere.FromDirection(v)
+}
+
+func rotY(v sphere.Vec3, deg float64) sphere.Vec3 {
+	s, c := sincos(deg)
+	return sphere.Vec3{X: v.X*c + v.Z*s, Y: v.Y, Z: -v.X*s + v.Z*c}
+}
+
+// rotX applies the pitch rotation convention of sphere.Orientation:
+// rotX(p) maps (0,0,1) to (0, sin p, cos p).
+func rotX(v sphere.Vec3, deg float64) sphere.Vec3 {
+	s, c := sincos(deg)
+	return sphere.Vec3{X: v.X, Y: v.Y*c + v.Z*s, Z: -v.Y*s + v.Z*c}
+}
+
+func rotZ(v sphere.Vec3, deg float64) sphere.Vec3 {
+	s, c := sincos(deg)
+	return sphere.Vec3{X: v.X*c - v.Y*s, Y: v.X*s + v.Y*c, Z: v.Z}
+}
+
+func sincos(deg float64) (s, c float64) {
+	r := deg * math.Pi / 180
+	return math.Sin(r), math.Cos(r)
+}
+
+// Ring returns the tiles exactly dist grid steps (Chebyshev distance,
+// with yaw wraparound) away from the given tile set. Ring(s, 1) is the
+// first OOS ring around the FoV tiles; Ring(s, 2) the second; and so on.
+// Tiles in the input set are never part of any ring.
+func Ring(g Grid, set []TileID, dist int) []TileID {
+	if dist <= 0 {
+		return nil
+	}
+	in := make(map[TileID]bool, len(set))
+	for _, id := range set {
+		in[id] = true
+	}
+	// Compute grid distance from the set by BFS over the wrap-aware
+	// neighborhood.
+	distMap := distancesFrom(g, in)
+	var out []TileID
+	for id, d := range distMap {
+		if d == dist {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Distances returns each tile's grid distance (Chebyshev steps with yaw
+// wraparound) from the given set. Tiles in the set have distance 0.
+// Used by OOS quality falloff: "the further away they are from X, the
+// lower their qualities will be" (§3.1.1).
+func Distances(g Grid, set []TileID) map[TileID]int {
+	in := make(map[TileID]bool, len(set))
+	for _, id := range set {
+		in[id] = true
+	}
+	return distancesFrom(g, in)
+}
+
+func distancesFrom(g Grid, in map[TileID]bool) map[TileID]int {
+	dist := make(map[TileID]int, g.Tiles())
+	var frontier []TileID
+	for id := range in {
+		if g.Valid(id) {
+			dist[id] = 0
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	for d := 1; len(frontier) > 0; d++ {
+		var next []TileID
+		for _, id := range frontier {
+			row, col := g.RowCol(id)
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					nr := row + dr
+					if nr < 0 || nr >= g.Rows {
+						continue
+					}
+					n := g.Tile(nr, col+dc)
+					if _, ok := dist[n]; !ok {
+						dist[n] = d
+						next = append(next, n)
+					}
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	return dist
+}
+
+// ChunkID addresses a chunk C(q, l, t): quality level q, tile l, start
+// time t (Fig. 2). Quality 0 is the lowest level of the ladder. For
+// SVC-encoded content, Quality doubles as the layer index (§3.1.1).
+type ChunkID struct {
+	Quality int
+	Tile    TileID
+	Start   time.Duration
+}
+
+func (c ChunkID) String() string {
+	return fmt.Sprintf("C(q=%d, l=%d, t=%v)", c.Quality, c.Tile, c.Start)
+}
+
+// Index returns the chunk's temporal index for a given chunk duration.
+func (c ChunkID) Index(chunkDur time.Duration) int {
+	if chunkDur <= 0 {
+		return 0
+	}
+	return int(c.Start / chunkDur)
+}

@@ -1,0 +1,169 @@
+// Package transport moves chunk requests over emulated network paths.
+// It defines the request vocabulary — every chunk carries the spatial
+// and temporal priorities of Table 1 (FoV vs OOS, urgent vs regular) —
+// and the scheduler interface that single-path and multipath strategies
+// (§3.3) implement. Schedulers hold their own priority queues and keep
+// at most a small number of transfers outstanding per path, so that a
+// newly urgent chunk can overtake queued regular ones instead of
+// drowning behind them.
+package transport
+
+import (
+	"container/heap"
+	"time"
+
+	"sperke/internal/netem"
+	"sperke/internal/tiling"
+)
+
+// Class is the spatial priority of a chunk (Table 1).
+type Class int
+
+// Spatial priorities.
+const (
+	// ClassFoV marks chunks inside the predicted field of view.
+	ClassFoV Class = iota
+	// ClassOOS marks out-of-sight chunks fetched to absorb HMP error.
+	ClassOOS
+)
+
+func (c Class) String() string {
+	if c == ClassFoV {
+		return "fov"
+	}
+	return "oos"
+}
+
+// Request is one chunk download.
+type Request struct {
+	Chunk tiling.ChunkID
+	Bytes int64
+	// Deadline is the playback time by which the chunk must arrive.
+	Deadline time.Duration
+	// Class is the spatial priority; Urgent the temporal one (Table 1).
+	// A chunk turns urgent when an HMP correction leaves it a very short
+	// deadline (§3.3).
+	Class  Class
+	Urgent bool
+	// Probability the chunk will be displayed (1 for FoV chunks).
+	Probability float64
+	// OnDone receives the delivery outcome and whether the deadline was
+	// met. May be nil.
+	OnDone func(d netem.Delivery, metDeadline bool)
+
+	seq int // submission order, for stable tie-breaks
+}
+
+// less orders requests by Table 1: urgent before regular, FoV before
+// OOS, then earliest deadline, then submission order.
+func (r *Request) less(o *Request) bool {
+	if r.Urgent != o.Urgent {
+		return r.Urgent
+	}
+	if r.Class != o.Class {
+		return r.Class == ClassFoV
+	}
+	if r.Deadline != o.Deadline {
+		return r.Deadline < o.Deadline
+	}
+	return r.seq < o.seq
+}
+
+// Queue is a priority queue of requests in Table 1 order. The zero
+// value is ready to use.
+type Queue struct {
+	h   reqHeap
+	seq int
+}
+
+type reqHeap []*Request
+
+func (h reqHeap) Len() int           { return len(h) }
+func (h reqHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h reqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x any)        { *h = append(*h, x.(*Request)) }
+func (h *reqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// Push enqueues a request.
+func (q *Queue) Push(r *Request) {
+	r.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, r)
+}
+
+// Pop removes and returns the highest-priority request, or nil.
+func (q *Queue) Pop() *Request {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Request)
+}
+
+// Len returns the number of queued requests.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Scheduler dispatches chunk requests onto network paths.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment output.
+	Name() string
+	// Submit enqueues one request; the scheduler decides path, order and
+	// QoS.
+	Submit(r *Request)
+}
+
+// clockSource abstracts the sim clock for deadline checks; netem.Path
+// already carries one, so schedulers read time through their paths'
+// deliveries.
+type clockNow interface{ Now() time.Duration }
+
+// SinglePath sends everything over one path, reliably, in Table 1
+// order, keeping one transfer in flight so priorities stay live.
+type SinglePath struct {
+	Path  *netem.Path
+	Clock clockNow
+
+	q      Queue
+	active bool
+}
+
+// NewSinglePath creates a single-path scheduler.
+func NewSinglePath(clock clockNow, path *netem.Path) *SinglePath {
+	return &SinglePath{Path: path, Clock: clock}
+}
+
+// Name implements Scheduler.
+func (s *SinglePath) Name() string { return "single-path" }
+
+// Submit implements Scheduler.
+func (s *SinglePath) Submit(r *Request) {
+	s.q.Push(r)
+	s.pump()
+}
+
+func (s *SinglePath) pump() {
+	if s.active {
+		return
+	}
+	r := s.q.Pop()
+	if r == nil {
+		return
+	}
+	s.active = true
+	s.Path.Transfer(r.Bytes, netem.Reliable, func(d netem.Delivery) {
+		s.active = false
+		if r.OnDone != nil {
+			r.OnDone(d, d.Done <= r.Deadline)
+		}
+		s.pump()
+	})
+}
+
+// Pending returns the queued (not in-flight) request count.
+func (s *SinglePath) Pending() int { return s.q.Len() }
