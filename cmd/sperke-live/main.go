@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"sperke/internal/dash"
+	"sperke/internal/faults"
 	"sperke/internal/media"
 	"sperke/internal/netem"
 	"sperke/internal/rtmp"
@@ -41,6 +43,9 @@ func run() error {
 	dur := flag.Duration("duration", 10*time.Second, "broadcast duration")
 	uplinkMbps := flag.Float64("uplink", 0, "uplink shaping in Mbit/s (0 = unshaped)")
 	segment := flag.Duration("segment", 500*time.Millisecond, "segment duration")
+	faultErrors := flag.Int("fault-errors", 0, "inject this many 502 responses on chunk fetches")
+	faultTruncate := flag.Int("fault-truncate", 0, "truncate this many chunk response bodies mid-flight")
+	faultSeed := flag.Int64("fault-seed", 42, "fault injection seed")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
@@ -86,7 +91,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: dash.NewServer(catalog, log)}
+	// Optional server-side chaos: a deterministic burst of 5xx responses
+	// and truncated bodies on the chunk route, which the viewer's
+	// resilient client must absorb.
+	var handler http.Handler = dash.NewServer(catalog, log)
+	var injector *faults.Injector
+	if *faultErrors > 0 || *faultTruncate > 0 {
+		var rules []faults.Rule
+		if *faultErrors > 0 {
+			rules = append(rules, faults.Rule{
+				PathContains: "/c/", ErrorProb: 1,
+				ErrorStatus: http.StatusBadGateway, MaxCount: *faultErrors,
+			})
+		}
+		if *faultTruncate > 0 {
+			rules = append(rules, faults.Rule{
+				PathContains: "/c/", TruncateProb: 1, MaxCount: *faultTruncate,
+			})
+		}
+		injector = faults.NewInjector(*faultSeed, rules...)
+		handler = injector.Wrap(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	go httpSrv.Serve(dashLn)
 	defer httpSrv.Close()
 
@@ -139,7 +165,7 @@ func run() error {
 	client := dash.NewClient("http://" + dashLn.Addr().String())
 	fmt.Printf("live broadcast: %d segments of %v, uplink %s\n",
 		nSegs, *segment, shapingLabel(*uplinkMbps))
-	fetched := 0
+	fetched, attempts := 0, 0
 	var latencies []time.Duration
 	deadline := time.Now().Add(*dur + 30*time.Second)
 	for fetched < nSegs && time.Now().Before(deadline) {
@@ -149,9 +175,17 @@ func run() error {
 			continue
 		}
 		for fetched <= mpd.LastChunk {
-			if _, err := client.FetchChunk(context.Background(), video.ID, 0, 0, fetched); err != nil {
+			res, err := client.FetchChunk(context.Background(), video.ID, 0, 0, fetched)
+			if err != nil {
+				// An exhausted fetch still spent attempts; the next poll
+				// round re-requests the same segment.
+				var derr *dash.Error
+				if errors.As(err, &derr) {
+					attempts += derr.Attempts
+				}
 				break
 			}
+			attempts += res.Attempts
 			displayed := time.Now()
 			mu.Lock()
 			cap, ok := captureAt[fetched]
@@ -174,6 +208,11 @@ func run() error {
 	}
 	fmt.Printf("mean E2E latency: %.0f ms over %d segments\n",
 		float64(sum.Milliseconds())/float64(len(latencies)), len(latencies))
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("faults absorbed: %d errors, %d truncations (%d fetch attempts for %d segments)\n",
+			st.Errors, st.Truncations, attempts, fetched)
+	}
 	return nil
 }
 

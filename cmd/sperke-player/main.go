@@ -8,6 +8,7 @@
 //	sperke-player -mode agnostic                 # FoV-agnostic baseline
 //	sperke-player -net lte -mbps 6 -algo mpc     # LTE trace, MPC VRA
 //	sperke-player -encoding SVC -upgrades        # incremental upgrades
+//	sperke-player -multipath -faults "outage:wifi:20s:5s"   # scripted chaos
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"sperke/internal/abr"
 	"sperke/internal/core"
+	"sperke/internal/faults"
 	"sperke/internal/media"
 	"sperke/internal/multipath"
 	"sperke/internal/netem"
@@ -47,6 +49,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	speed := flag.Float64("headspeed", 1.0, "viewer head-speed scale")
 	multi := flag.Bool("multipath", false, "stream over WiFi+LTE with the content-aware scheduler (§3.3)")
+	faultPlan := flag.String("faults", "", `fault plan against the network, e.g. "outage:wifi:20s:5s,cliff:lte:30s:10s:500k"`)
 	budget := flag.Float64("budget", 0, "user bandwidth budget in Mbit/s (0 = none, §3.1.2)")
 	timeline := flag.Bool("timeline", false, "print the session event timeline")
 	flag.Parse()
@@ -101,16 +104,28 @@ func run() error {
 		return fmt.Errorf("unknown network model %q", *netKind)
 	}
 	var sched transport.Scheduler
+	var paths []*netem.Path
 	if *multi {
 		// The -net model shapes the WiFi path; LTE rides alongside.
 		wifi := netem.NewPath(clock, "wifi", tr, 20*time.Millisecond, 0.002)
 		lte := netem.NewPath(clock, "lte",
 			netem.LTETrace(clock.RNG("lte"), *mbps*0.6*1e6, time.Second, *dur+30*time.Second),
 			45*time.Millisecond, 0.015)
+		paths = []*netem.Path{wifi, lte}
 		sched = multipath.NewContentAware(clock, wifi, lte)
 	} else {
 		path := netem.NewPath(clock, *netKind, tr, 25*time.Millisecond, 0)
+		paths = []*netem.Path{path}
 		sched = transport.NewSinglePath(clock, path)
+	}
+	if *faultPlan != "" {
+		plan, err := faults.Parse(*faultPlan)
+		if err != nil {
+			return err
+		}
+		if err := plan.Apply(clock, paths...); err != nil {
+			return err
+		}
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

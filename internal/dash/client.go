@@ -5,11 +5,88 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"sperke/internal/media"
 )
+
+// DefaultTimeout bounds a whole HTTP exchange when the caller does not
+// supply an HTTPClient — the guard http.DefaultClient lacks.
+const DefaultTimeout = 15 * time.Second
+
+// defaultHTTPClient is shared by all clients without an explicit
+// HTTPClient so connection pooling still works across sessions.
+var defaultHTTPClient = &http.Client{Timeout: DefaultTimeout}
+
+// RetryPolicy controls the client's bounded-retry loop: exponential
+// backoff with jitter between attempts, a per-attempt timeout, and a
+// cap on attempts. The zero value means defaults everywhere.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included);
+	// 0 defaults to 4, negative disables retries (one attempt).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; 0 defaults to
+	// 200ms. Each further attempt multiplies it by Multiplier (default
+	// 2) up to MaxDelay (default 5s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of its
+	// value; 0 defaults to 0.2. Negative disables jitter.
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt; 0 defaults to 10s.
+	// The caller's context deadline still applies on top.
+	AttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.MaxAttempts < 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 200 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = 10 * time.Second
+	}
+	return p
+}
+
+// backoff returns the delay before attempt n+1 (n counts from 1).
+// Jitter draws from the process-global stream, which is safe for
+// concurrent clients; determinism matters for fault replay, not for
+// pause lengths.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
 
 // FetchResult is one completed segment download with the measurement
 // rate adaptation consumes.
@@ -18,21 +95,34 @@ type FetchResult struct {
 	Payload []byte
 	// WireBytes is the segment size on the wire (header + payload).
 	WireBytes int64
-	// Elapsed is the request wall time; ThroughputBPS the observed
-	// goodput in bits/s.
+	// Elapsed is the request wall time (floored at 1ms so mocked clocks
+	// cannot yield a zero); ThroughputBPS the observed goodput in
+	// bits/s. Retried attempts count toward Elapsed: a flaky fetch
+	// correctly reads as a slow one.
 	Elapsed       time.Duration
 	ThroughputBPS float64
+	// Attempts is how many tries the download took (1 = clean fetch).
+	Attempts int
 }
 
-// Client fetches manifests and segments from a Sperke DASH server.
+// Client fetches manifests and segments from a Sperke DASH server,
+// absorbing transient faults: each request gets a per-attempt timeout
+// and bounded retries with exponential backoff, and failures carry a
+// typed taxonomy (*Error) so callers can degrade instead of crash.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with DefaultTimeout.
 	HTTPClient *http.Client
+	// Retry tunes the retry loop; the zero value uses the defaults
+	// documented on RetryPolicy.
+	Retry RetryPolicy
 	// Now returns wall time; replaceable for tests. Defaults to
 	// time.Now.
 	Now func() time.Time
+	// Sleep pauses between attempts; replaceable for tests. Defaults to
+	// a context-aware sleep that returns early when ctx expires.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient builds a client for a server root URL.
@@ -44,7 +134,7 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 func (c *Client) now() time.Time {
@@ -54,26 +144,76 @@ func (c *Client) now() time.Time {
 	return time.Now()
 }
 
-func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// getOnce performs a single attempt with its own timeout and classifies
+// any failure.
+func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration) ([]byte, *Error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, err
+		return nil, &Error{Op: path, Kind: KindFatal, Err: err}
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, &Error{Op: path, Kind: classifyCtx(ctx, err), Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("dash: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+		kind := KindFatal
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			kind = KindTransient
+		}
+		return nil, &Error{
+			Op: path, Kind: kind, Status: resp.StatusCode,
+			Err: fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)),
+		}
 	}
-	return io.ReadAll(resp.Body)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A body cut mid-segment (server fault, dropped connection) is
+		// worth refetching.
+		return nil, &Error{Op: path, Kind: classifyCtx(ctx, err), Err: err}
+	}
+	return data, nil
+}
+
+// get runs the bounded-retry loop around getOnce.
+func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	pol := c.Retry.withDefaults()
+	for attempt := 1; ; attempt++ {
+		data, derr := c.getOnce(ctx, path, pol.AttemptTimeout)
+		if derr == nil {
+			return data, attempt, nil
+		}
+		derr.Attempts = attempt
+		if !derr.Retryable() || attempt >= pol.MaxAttempts {
+			return nil, attempt, derr
+		}
+		if err := c.sleep(ctx, pol.backoff(attempt)); err != nil {
+			derr.Kind = KindCanceled
+			return nil, attempt, derr
+		}
+	}
 }
 
 // FetchMPD downloads and parses a video's manifest.
 func (c *Client) FetchMPD(ctx context.Context, videoID string) (*MPD, error) {
-	data, err := c.get(ctx, mpdPath(videoID))
+	data, _, err := c.get(ctx, mpdPath(videoID))
 	if err != nil {
 		return nil, err
 	}
@@ -92,24 +232,42 @@ func (c *Client) FetchLayer(ctx context.Context, videoID string, layer, tile, id
 }
 
 func (c *Client) fetchSegment(ctx context.Context, path string) (FetchResult, error) {
+	pol := c.Retry.withDefaults()
 	start := c.now()
-	data, err := c.get(ctx, path)
-	if err != nil {
-		return FetchResult{}, err
+	attempts := 0
+	for {
+		data, n, err := c.get(ctx, path)
+		attempts += n
+		if err != nil {
+			return FetchResult{}, err
+		}
+		h, payload, derr := media.ReadSegment(bytes.NewReader(data))
+		if derr != nil {
+			// The bytes arrived but do not decode — a truncated or corrupt
+			// segment. Refetch within the remaining attempt budget.
+			if attempts < pol.MaxAttempts {
+				if serr := c.sleep(ctx, pol.backoff(attempts)); serr == nil {
+					continue
+				}
+			}
+			return FetchResult{}, &Error{
+				Op: path, Kind: KindTransient, Attempts: attempts,
+				Err: fmt.Errorf("decoding segment: %w", derr),
+			}
+		}
+		elapsed := c.now().Sub(start)
+		if elapsed < time.Millisecond {
+			// Mocked or coarse clocks can observe zero wall time; a zero
+			// sample would poison downstream bandwidth estimates.
+			elapsed = time.Millisecond
+		}
+		return FetchResult{
+			Header:        h,
+			Payload:       payload,
+			WireBytes:     int64(len(data)),
+			Elapsed:       elapsed,
+			ThroughputBPS: float64(len(data)) * 8 / elapsed.Seconds(),
+			Attempts:      attempts,
+		}, nil
 	}
-	elapsed := c.now().Sub(start)
-	h, payload, err := media.ReadSegment(bytes.NewReader(data))
-	if err != nil {
-		return FetchResult{}, fmt.Errorf("dash: decoding segment %s: %w", path, err)
-	}
-	res := FetchResult{
-		Header:    h,
-		Payload:   payload,
-		WireBytes: int64(len(data)),
-		Elapsed:   elapsed,
-	}
-	if elapsed > 0 {
-		res.ThroughputBPS = float64(len(data)) * 8 / elapsed.Seconds()
-	}
-	return res, nil
 }

@@ -1,0 +1,83 @@
+package dash
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrorKind classifies a client failure so callers (and the client's
+// own retry loop) can tell transient trouble from permanent failure and
+// degrade instead of crash.
+type ErrorKind int
+
+// Error kinds.
+const (
+	// KindTransient marks failures worth retrying: network errors, 5xx
+	// and 429 responses, and truncated or corrupt segment bodies.
+	KindTransient ErrorKind = iota
+	// KindFatal marks failures retrying cannot fix: 4xx responses and
+	// malformed requests.
+	KindFatal
+	// KindCanceled marks the caller's context expiring; the client stops
+	// retrying immediately.
+	KindCanceled
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case KindTransient:
+		return "transient"
+	case KindFatal:
+		return "fatal"
+	default:
+		return "canceled"
+	}
+}
+
+// Error is the typed failure a resilient Client returns.
+type Error struct {
+	// Op is the request path the failure happened on.
+	Op string
+	// Kind is the retry classification.
+	Kind ErrorKind
+	// Status is the HTTP status when one was received (0 otherwise).
+	Status int
+	// Attempts is how many tries the client made before giving up.
+	Attempts int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("dash: GET %s (%s, %d attempts)", e.Op, e.Kind, e.Attempts)
+	if e.Status != 0 {
+		msg += fmt.Sprintf(": status %d", e.Status)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Retryable reports whether another attempt could succeed.
+func (e *Error) Retryable() bool { return e.Kind == KindTransient }
+
+// Retryable reports whether err is a dash client failure another
+// attempt could fix.
+func Retryable(err error) bool {
+	var de *Error
+	return errors.As(err, &de) && de.Retryable()
+}
+
+// classifyCtx maps a request error to a kind, preferring the caller's
+// context state: a canceled or expired parent context is KindCanceled,
+// everything else that reached the network is transient.
+func classifyCtx(ctx context.Context, err error) ErrorKind {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+		return KindCanceled
+	}
+	return KindTransient
+}

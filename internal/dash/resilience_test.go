@@ -1,0 +1,227 @@
+package dash
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sperke/internal/faults"
+)
+
+// faultyServer serves the demo catalog behind a fault injector and
+// counts requests reaching the real handler.
+func faultyServer(t *testing.T, in *faults.Injector) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	cat := NewCatalog()
+	if err := cat.Add(testVideo()); err != nil {
+		t.Fatal(err)
+	}
+	var served atomic.Int64
+	inner := http.Handler(NewServer(cat, nil))
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		inner.ServeHTTP(w, r)
+	})
+	h := http.Handler(counted)
+	if in != nil {
+		h = in.Wrap(counted)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, &served
+}
+
+// fastClient disables real sleeping so retry tests run instantly,
+// recording each backoff it would have waited.
+func fastClient(url string, slept *[]time.Duration) *Client {
+	c := NewClient(url)
+	c.Sleep = func(ctx context.Context, d time.Duration) error {
+		if slept != nil {
+			*slept = append(*slept, d)
+		}
+		return ctx.Err()
+	}
+	return c
+}
+
+func TestClientRetriesThrough5xxBurst(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{ErrorProb: 1, MaxCount: 2})
+	srv, _ := faultyServer(t, in)
+	var slept []time.Duration
+	c := fastClient(srv.URL, &slept)
+	res, err := c.FetchChunk(context.Background(), "demo", 0, 0, 0)
+	if err != nil {
+		t.Fatalf("fetch through a 2-deep 503 burst failed: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3 (two 503s, then success)", res.Attempts)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("%d backoffs, want 2", len(slept))
+	}
+	if slept[1] <= slept[0]/2 {
+		t.Fatalf("backoff not growing: %v", slept)
+	}
+}
+
+func TestClientRefetchesTruncatedSegment(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{TruncateProb: 1, MaxCount: 1})
+	srv, _ := faultyServer(t, in)
+	c := fastClient(srv.URL, nil)
+	res, err := c.FetchChunk(context.Background(), "demo", 1, 2, 3)
+	if err != nil {
+		t.Fatalf("fetch with one truncated body failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+	if res.Header.Quality != 1 || res.Header.Tile != 2 {
+		t.Fatalf("refetched segment decoded wrong: %+v", res.Header)
+	}
+	if st := in.Stats(); st.Truncations != 1 {
+		t.Fatalf("injector stats %+v", st)
+	}
+}
+
+func TestClientRefetchesCorruptSegment(t *testing.T) {
+	// The HTTP layer succeeds but the first body does not decode: valid
+	// status, garbage bytes. fetchSegment must refetch within its budget.
+	cat := NewCatalog()
+	if err := cat.Add(testVideo()); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(cat, nil)
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Write([]byte("this is not a segment"))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c := fastClient(srv.URL, nil)
+	res, err := c.FetchChunk(context.Background(), "demo", 0, 0, 0)
+	if err != nil {
+		t.Fatalf("fetch with one corrupt body failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestClient404IsFatalAndNotRetried(t *testing.T) {
+	srv, served := faultyServer(t, nil)
+	c := fastClient(srv.URL, nil)
+	_, err := c.FetchChunk(context.Background(), "no-such-video", 0, 0, 0)
+	if err == nil {
+		t.Fatal("missing video fetched")
+	}
+	var de *Error
+	if !errors.As(err, &de) {
+		t.Fatalf("untyped error: %v", err)
+	}
+	if de.Kind != KindFatal || de.Status != http.StatusNotFound {
+		t.Fatalf("error %+v, want fatal 404", de)
+	}
+	if Retryable(err) {
+		t.Fatal("404 classified retryable")
+	}
+	if got := served.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries on 4xx)", got)
+	}
+}
+
+func TestClientExhaustsRetriesOnPersistent5xx(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{ErrorProb: 1})
+	srv, served := faultyServer(t, in)
+	c := fastClient(srv.URL, nil)
+	c.Retry.MaxAttempts = 3
+	_, err := c.FetchChunk(context.Background(), "demo", 0, 0, 0)
+	var de *Error
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v", err)
+	}
+	if de.Kind != KindTransient || de.Attempts != 3 {
+		t.Fatalf("error %+v, want transient after 3 attempts", de)
+	}
+	if got := served.Load(); got != 0 {
+		t.Fatalf("injected 503s should short-circuit the handler, saw %d", got)
+	}
+}
+
+func TestClientCancellationStopsRetries(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{ErrorProb: 1})
+	srv, _ := faultyServer(t, in)
+	c := NewClient(srv.URL)
+	c.Retry.BaseDelay = time.Hour // any real backoff would hang the test
+	ctx, cancel := context.WithCancel(context.Background())
+	c.Sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	_, err := c.FetchChunk(ctx, "demo", 0, 0, 0)
+	var de *Error
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v", err)
+	}
+	if de.Kind != KindCanceled {
+		t.Fatalf("kind %v, want canceled when ctx dies mid-backoff", de.Kind)
+	}
+	if de.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", de.Attempts)
+	}
+}
+
+func TestRetryPolicyBackoffBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+		Multiplier: 2, Jitter: -1}.withDefaults()
+	for i, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if got := p.backoff(i + 1); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+	jittered := RetryPolicy{BaseDelay: time.Second, Jitter: 0.2}.withDefaults()
+	for i := 0; i < 32; i++ {
+		d := jittered.backoff(1)
+		if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside ±20%% of 1s", d)
+		}
+	}
+}
+
+func TestClientElapsedFlooredAtMillisecond(t *testing.T) {
+	srv, _ := faultyServer(t, nil)
+	c := NewClient(srv.URL)
+	frozen := time.Unix(1700000000, 0)
+	c.Now = func() time.Time { return frozen } // zero observed wall time
+	res, err := c.FetchChunk(context.Background(), "demo", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != time.Millisecond {
+		t.Fatalf("Elapsed = %v, want the 1ms floor", res.Elapsed)
+	}
+	if res.ThroughputBPS <= 0 {
+		t.Fatal("throughput sample not finite")
+	}
+}
+
+func TestClientDefaultHTTPClientHasTimeout(t *testing.T) {
+	c := NewClient("http://example.invalid")
+	if got := c.httpClient().Timeout; got != DefaultTimeout {
+		t.Fatalf("default client timeout %v, want %v", got, DefaultTimeout)
+	}
+	override := &http.Client{Timeout: time.Second}
+	c.HTTPClient = override
+	if c.httpClient() != override {
+		t.Fatal("explicit HTTPClient not honored")
+	}
+}

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule describes one server-side fault the Injector may apply to a
+// request. Probabilities draw from the injector's seeded stream, so a
+// given seed and request order replay the same faults.
+type Rule struct {
+	// From and To bound the window (time since the injector's first
+	// request) in which the rule is live. A zero To means forever.
+	From, To time.Duration
+	// PathContains filters request URLs; empty matches every request.
+	PathContains string
+	// ErrorProb is the probability of replying with ErrorStatus instead
+	// of serving; ErrorStatus defaults to 503.
+	ErrorProb   float64
+	ErrorStatus int
+	// TruncateProb is the probability of cutting the response body short
+	// while keeping the declared Content-Length, so the client observes
+	// an unexpected EOF mid-segment.
+	TruncateProb float64
+	// DelayProb is the probability of sleeping Delay before serving.
+	DelayProb float64
+	Delay     time.Duration
+	// MaxCount caps how many times this rule fires (0 = unlimited);
+	// e.g. MaxCount 1 with TruncateProb 1 truncates exactly one segment.
+	MaxCount int
+}
+
+// Stats counts what an injector has done.
+type Stats struct {
+	Requests, Errors, Truncations, Delays int64
+}
+
+// Injector is an http.Handler middleware injecting 5xx responses,
+// truncated segment bodies, and response delays into a dash.Server
+// with deterministic seeded randomness.
+type Injector struct {
+	// Rules are evaluated in order for each request; an error rule
+	// short-circuits the handler.
+	Rules []Rule
+	// Seed drives the probability stream.
+	Seed int64
+	// Sleep implements delays; replaceable in tests. Defaults to
+	// time.Sleep.
+	Sleep func(time.Duration)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	start time.Time
+	fired map[int]int
+	stats Stats
+}
+
+// NewInjector builds an injector with the given seed and rules.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	return &Injector{Rules: rules, Seed: seed}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// roll draws from the seeded stream under the lock.
+func (in *Injector) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	if in.rng == nil {
+		in.rng = rand.New(rand.NewSource(in.Seed))
+	}
+	return in.rng.Float64() < prob
+}
+
+// decision is what one request should suffer.
+type decision struct {
+	delay    time.Duration
+	status   int
+	truncate bool
+}
+
+func (in *Injector) decide(path string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fired == nil {
+		in.fired = make(map[int]int)
+	}
+	if in.start.IsZero() {
+		in.start = time.Now()
+	}
+	in.stats.Requests++
+	elapsed := time.Since(in.start)
+	var d decision
+	for i, r := range in.Rules {
+		if elapsed < r.From || (r.To > 0 && elapsed >= r.To) {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if r.MaxCount > 0 && in.fired[i] >= r.MaxCount {
+			continue
+		}
+		hit := false
+		if d.delay == 0 && r.Delay > 0 && in.roll(r.DelayProb) {
+			d.delay = r.Delay
+			in.stats.Delays++
+			hit = true
+		}
+		if d.status == 0 && in.roll(r.ErrorProb) {
+			d.status = r.ErrorStatus
+			if d.status == 0 {
+				d.status = http.StatusServiceUnavailable
+			}
+			in.stats.Errors++
+			hit = true
+		}
+		if !d.truncate && d.status == 0 && in.roll(r.TruncateProb) {
+			d.truncate = true
+			in.stats.Truncations++
+			hit = true
+		}
+		if hit {
+			in.fired[i]++
+		}
+	}
+	return d
+}
+
+// Wrap returns next with the injector's faults applied in front of it.
+func (in *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide(r.URL.Path)
+		if d.delay > 0 {
+			sleep := in.Sleep
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(d.delay)
+		}
+		if d.status != 0 {
+			http.Error(w, "faults: injected failure", d.status)
+			return
+		}
+		if d.truncate {
+			w = &truncatingWriter{ResponseWriter: w, limit: -1}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncatingWriter lets the handler set headers (including
+// Content-Length) normally, then forwards only half of the declared
+// body and swallows the rest, reporting success to the handler. The
+// net/http server detects the short write and severs the connection, so
+// the client sees a mid-body EOF — the truncated-segment failure mode.
+type truncatingWriter struct {
+	http.ResponseWriter
+	limit   int64 // -1 until the first write fixes it
+	written int64
+}
+
+func (w *truncatingWriter) Write(b []byte) (int, error) {
+	if w.limit < 0 {
+		w.limit = 1
+		if cl, err := strconv.ParseInt(w.Header().Get("Content-Length"), 10, 64); err == nil && cl > 1 {
+			w.limit = cl / 2
+		}
+	}
+	n := len(b)
+	if room := w.limit - w.written; room < int64(len(b)) {
+		b = b[:room]
+	}
+	if len(b) > 0 {
+		if _, err := w.ResponseWriter.Write(b); err != nil {
+			return 0, err
+		}
+		w.written += int64(len(b))
+	}
+	return n, nil
+}

@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// payloadHandler serves a fixed body with an explicit Content-Length,
+// the way dash.Server serves segments.
+func payloadHandler(n int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, n)
+		for i := range body {
+			body[i] = byte(i)
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(n))
+		w.Write(body)
+	})
+}
+
+func TestInjectorErrorRule(t *testing.T) {
+	in := NewInjector(1, Rule{ErrorProb: 1, ErrorStatus: http.StatusBadGateway})
+	srv := httptest.NewServer(in.Wrap(payloadHandler(64)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	if st := in.Stats(); st.Errors != 1 || st.Requests != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInjectorErrorStatusDefaults503(t *testing.T) {
+	in := NewInjector(1, Rule{ErrorProb: 1})
+	srv := httptest.NewServer(in.Wrap(payloadHandler(8)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestInjectorTruncationCutsBodyShort(t *testing.T) {
+	in := NewInjector(1, Rule{TruncateProb: 1})
+	srv := httptest.NewServer(in.Wrap(payloadHandler(10000)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 before the cut", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error; want a mid-body failure", len(body))
+	}
+	if len(body) >= 10000 {
+		t.Fatal("body not truncated")
+	}
+	if st := in.Stats(); st.Truncations != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInjectorMaxCountLimitsFirings(t *testing.T) {
+	in := NewInjector(1, Rule{ErrorProb: 1, MaxCount: 2})
+	srv := httptest.NewServer(in.Wrap(payloadHandler(16)))
+	defer srv.Close()
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{503, 503, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes %v, want %v", codes, want)
+		}
+	}
+}
+
+func TestInjectorWindowAndPathFilter(t *testing.T) {
+	in := NewInjector(1,
+		Rule{From: time.Hour, ErrorProb: 1},           // not yet live
+		Rule{PathContains: "/segment/", ErrorProb: 1}, // wrong path below
+	)
+	srv := httptest.NewServer(in.Wrap(payloadHandler(16)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d; no rule should have matched", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/segment/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatal("path-filtered rule did not fire")
+	}
+}
+
+func TestInjectorDelayRule(t *testing.T) {
+	var slept time.Duration
+	in := NewInjector(1, Rule{DelayProb: 1, Delay: 250 * time.Millisecond})
+	in.Sleep = func(d time.Duration) { slept = d }
+	srv := httptest.NewServer(in.Wrap(payloadHandler(16)))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept %v, want 250ms", slept)
+	}
+	if st := in.Stats(); st.Delays != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInjectorSeededStreamIsDeterministic(t *testing.T) {
+	run := func() []int {
+		in := NewInjector(1234, Rule{ErrorProb: 0.5})
+		srv := httptest.NewServer(in.Wrap(payloadHandler(16)))
+		defer srv.Close()
+		var codes []int
+		for i := 0; i < 16; i++ {
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes = append(codes, resp.StatusCode)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	errs := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: %d vs %d across identical seeds", i, a[i], b[i])
+		}
+		if a[i] == http.StatusServiceUnavailable {
+			errs++
+		}
+	}
+	if errs == 0 || errs == 16 {
+		t.Fatalf("0.5 error rate produced %d/16 errors", errs)
+	}
+}

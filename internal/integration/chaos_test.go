@@ -1,0 +1,204 @@
+package integration
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/faults"
+	"sperke/internal/live"
+	"sperke/internal/netem"
+	"sperke/internal/sim"
+	"sperke/internal/transport"
+)
+
+func breakerCycle(trs []transport.BreakerTransition) (opened, reclosed bool) {
+	for _, tr := range trs {
+		if tr.To == transport.BreakerOpen {
+			opened = true
+		}
+		if opened && tr.To == transport.BreakerClosed {
+			reclosed = true
+		}
+	}
+	return
+}
+
+// TestChaosBroadcastSurvivesScriptedPlan replays a scripted fault plan —
+// a mid-session uplink outage followed by a bandwidth cliff — against a
+// full simulated broadcast with the breaker-driven spatial fallback
+// active. The session must complete with bounded rebuffering and the
+// breaker must open and re-close.
+func TestChaosBroadcastSurvivesScriptedPlan(t *testing.T) {
+	plan := faults.MustParse("outage:uplink:8s:4s,cliff:uplink:16s:4s:1M")
+	run := live.MeasureE2EResilient(5, live.Facebook,
+		netem.Constant(8e6), netem.Constant(10e6), 30*time.Second,
+		live.DegradeConfig{
+			Breaker: transport.BreakerConfig{FailureThreshold: 2, Cooldown: 2 * time.Second},
+			Plan:    live.HorizonPlan{SpanDeg: 180},
+			ArmFaults: func(clock *sim.Clock, upload *netem.Path) {
+				if err := plan.Apply(clock, upload); err != nil {
+					t.Errorf("apply plan: %v", err)
+				}
+			},
+		})
+
+	opened, reclosed := breakerCycle(run.Transitions)
+	if !opened || !reclosed {
+		t.Fatalf("breaker cycle incomplete (opened=%v reclosed=%v): %+v",
+			opened, reclosed, run.Transitions)
+	}
+	if run.Result.Samples == 0 {
+		t.Fatal("viewer displayed nothing — the session did not survive the plan")
+	}
+	nSegs := int(30 * time.Second / live.Facebook.SegmentDur)
+	if run.Result.SkippedSegments >= nSegs/2 {
+		t.Fatalf("%d of %d segments skipped — degradation unbounded",
+			run.Result.SkippedSegments, nSegs)
+	}
+	if run.Result.Stalls > 8 {
+		t.Fatalf("%d rebuffer events — not bounded across a 4s outage", run.Result.Stalls)
+	}
+	if run.DegradedPieces == 0 || run.DegradedPieces >= run.TotalPieces {
+		t.Fatalf("fallback accounting %d/%d — expected partial degradation",
+			run.DegradedPieces, run.TotalPieces)
+	}
+}
+
+// TestChaosChunkSessionFailsOver replays a path outage against a
+// two-path failover session: a chunk request every 250 ms for 30 s.
+// Every chunk must complete, misses must stay bounded to the requests
+// the outage caught in flight, and the tripped breaker must recover.
+func TestChaosChunkSessionFailsOver(t *testing.T) {
+	clock := sim.NewClock(9)
+	wifi := netem.NewPath(clock, "wifi", netem.Constant(8e6), 10*time.Millisecond, 0)
+	lte := netem.NewPath(clock, "lte", netem.Constant(4e6), 30*time.Millisecond, 0)
+	// 4.8s start so the outage catches the 4.75s chunk mid-transfer: that
+	// delivery lands late, trips the breaker, and the rest of the session
+	// must fail over.
+	if err := faults.MustParse("outage:wifi:4800ms:5s").Apply(clock, wifi); err != nil {
+		t.Fatal(err)
+	}
+	f := transport.NewFailover(clock,
+		transport.BreakerConfig{FailureThreshold: 1, Cooldown: 2 * time.Second}, wifi, lte)
+
+	completions, missed := 0, 0
+	submit := func(at time.Duration, bytes int64) {
+		req := &transport.Request{
+			Class: transport.ClassFoV, Bytes: bytes, Deadline: at + time.Second,
+			OnDone: func(d netem.Delivery, ok bool) {
+				completions++
+				if !ok {
+					missed++
+				}
+			},
+		}
+		clock.Schedule(at, func() { f.Submit(req) })
+	}
+	const session = 120
+	for i := 0; i < session; i++ {
+		submit(time.Duration(i)*250*time.Millisecond, 1e5)
+	}
+	// A burst just before the outage builds a wifi backlog the blackout
+	// catches mid-queue; the router's estimates cannot see queued work, so
+	// this is what actually trips the breaker.
+	const burst = 4
+	for i := 0; i < burst; i++ {
+		submit(4050*time.Millisecond, 250e3)
+	}
+	clock.Run()
+
+	const total = session + burst
+	if completions != total {
+		t.Fatalf("%d/%d chunks completed — session did not finish", completions, total)
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("%d requests stranded", f.Pending())
+	}
+	if missed > 5 {
+		t.Fatalf("%d deadline misses — failover did not contain the outage", missed)
+	}
+	opened, reclosed := breakerCycle(f.Breaker(0).Transitions())
+	if !opened || !reclosed {
+		t.Fatalf("wifi breaker cycle incomplete (opened=%v reclosed=%v): %+v",
+			opened, reclosed, f.Breaker(0).Transitions())
+	}
+	if f.Stats(1).Successes == 0 {
+		t.Fatal("lte absorbed nothing during the wifi outage")
+	}
+}
+
+// TestChaosHTTPFaultBurstAndTruncation runs a real HTTP session against
+// a dash server behind the fault injector: a 5xx burst plus exactly one
+// truncated segment. The resilient client must absorb every fault, and
+// the session must not leak goroutines.
+func TestChaosHTTPFaultBurstAndTruncation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	func() {
+		video := liveVideo(2*time.Second, 5)
+		catalog := dash.NewCatalog()
+		if err := catalog.Add(video); err != nil {
+			t.Fatal(err)
+		}
+		in := faults.NewInjector(42,
+			faults.Rule{PathContains: "/c/", ErrorProb: 1, ErrorStatus: http.StatusBadGateway, MaxCount: 3},
+			faults.Rule{PathContains: "/c/", TruncateProb: 1, MaxCount: 1},
+		)
+		srv := httptest.NewServer(in.Wrap(dash.NewServer(catalog, nil)))
+		defer srv.Close()
+
+		tr := &http.Transport{}
+		defer tr.CloseIdleConnections()
+		client := dash.NewClient(srv.URL)
+		client.HTTPClient = &http.Client{Transport: tr, Timeout: 5 * time.Second}
+		client.Retry.MaxAttempts = 8
+		client.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+		mpd, err := client.FetchMPD(context.Background(), video.ID)
+		if err != nil {
+			t.Fatalf("manifest: %v", err)
+		}
+		fetches, attempts := 0, 0
+		for idx := 0; idx < mpd.NumChunks(); idx++ {
+			for tile := 0; tile < 2; tile++ {
+				res, err := client.FetchChunk(context.Background(), video.ID, 1, tile, idx)
+				if err != nil {
+					t.Fatalf("chunk %d/%d through faults: %v", tile, idx, err)
+				}
+				fetches++
+				attempts += res.Attempts
+			}
+		}
+		if attempts <= fetches {
+			t.Fatalf("%d attempts for %d fetches — the faults never fired", attempts, fetches)
+		}
+		st := in.Stats()
+		if st.Errors != 3 {
+			t.Fatalf("injected %d 502s, want the scripted 3", st.Errors)
+		}
+		if st.Truncations != 1 {
+			t.Fatalf("injected %d truncations, want exactly 1", st.Truncations)
+		}
+		// Every injected fault cost exactly one extra attempt.
+		if got, want := attempts-fetches, 4; got != want {
+			t.Fatalf("%d retries, want %d (3 errors + 1 truncation)", got, want)
+		}
+	}()
+
+	// No goroutine leaks: everything the session spawned must wind down.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d -> %d after session teardown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"sperke/internal/netem"
 	"sperke/internal/sim"
+	"sperke/internal/transport"
 )
 
 // Result summarizes one simulated broadcast, reproducing the paper's
@@ -221,6 +222,86 @@ func (v *viewerSim) finish() Result {
 	return r
 }
 
+// DegradeConfig wires a circuit breaker between the uplink and the
+// spatial fallback of §3.4.2: consecutive upload-piece timeouts trip
+// the breaker, and while it is not closed the broadcaster uploads only
+// the Plan's horizon share of the panorama, so an outage downgrades
+// quality rather than stalling the broadcast.
+type DegradeConfig struct {
+	// Breaker tunes the uplink breaker (zero = defaults).
+	Breaker transport.BreakerConfig
+	// Plan is the horizon uploaded while degraded.
+	Plan HorizonPlan
+	// PieceDeadline is the upload time beyond which a piece counts as a
+	// breaker failure; 0 defaults to 2× the piece duration.
+	PieceDeadline time.Duration
+	// ArmFaults, when set, runs with the clock and the upload path
+	// before the broadcast starts — the hook fault plans attach through.
+	ArmFaults func(clock *sim.Clock, upload *netem.Path)
+}
+
+// degrader applies a DegradeConfig inside runBroadcast: a watchdog per
+// upload piece reports timeouts to the breaker (an uploader detects a
+// stalled path by timeout, not by waiting for completion), and the
+// steady piece stream doubles as the half-open probe traffic.
+type degrader struct {
+	clock    *sim.Clock
+	br       *transport.Breaker
+	plan     HorizonPlan
+	deadline time.Duration
+
+	degradedPieces, totalPieces int
+}
+
+// pieceBytes shrinks a piece to the horizon's share while the breaker
+// is not closed.
+func (dg *degrader) pieceBytes(full int64) int64 {
+	dg.totalPieces++
+	if dg.br.State() == transport.BreakerClosed {
+		return full
+	}
+	dg.degradedPieces++
+	b := int64(float64(full) * dg.plan.Fraction())
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// watch submits the transfer with a timeout watchdog attached and
+// reports the outcome to the breaker exactly once.
+func (dg *degrader) watch(upload *netem.Path, bytes int64, landed func(netem.Delivery)) {
+	submitted := dg.clock.Now()
+	reported := false
+	watchdog := dg.clock.After(dg.deadline, func() {
+		reported = true
+		dg.br.OnFailure()
+	})
+	upload.Transfer(bytes, netem.Reliable, func(d netem.Delivery) {
+		watchdog.Cancel()
+		if !reported {
+			if d.OK && d.Done-submitted <= dg.deadline {
+				dg.br.OnSuccess()
+			} else {
+				dg.br.OnFailure()
+			}
+		}
+		landed(d)
+	})
+}
+
+// ResilientRun reports a broadcast run with breaker-driven spatial
+// fallback active.
+type ResilientRun struct {
+	Result Result
+	// DegradedPieces of TotalPieces were uploaded at the fallback
+	// horizon's share rather than the full panorama.
+	DegradedPieces, TotalPieces int
+	// Transitions is the uplink breaker's state-change log; chaos tests
+	// assert it opens and re-closes across an outage.
+	Transitions []transport.BreakerTransition
+}
+
 // runBroadcast drives one broadcast with the given viewers attached and
 // returns the broadcaster-side skip count.
 //
@@ -231,8 +312,12 @@ func (v *viewerSim) finish() Result {
 // frames — the "degraded video quality exhibiting stall and frame
 // skips" of §3.4.1.
 func runBroadcast(clock *sim.Clock, p Platform, upTrace *netem.BandwidthTrace,
-	propagation, broadcastDur time.Duration, viewers []*viewerSim) (skips int) {
+	propagation, broadcastDur time.Duration, viewers []*viewerSim, deg *degrader,
+	armFaults func(*sim.Clock, *netem.Path)) (skips int) {
 	upload := netem.NewPath(clock, "uplink", upTrace, propagation, 0)
+	if armFaults != nil {
+		armFaults(clock, upload)
+	}
 
 	var available []segment
 	onIngest := func(seg segment) {
@@ -284,10 +369,18 @@ func runBroadcast(clock *sim.Clock, p Platform, upTrace *netem.BandwidthTrace,
 				return
 			}
 			queuedMedia += pieceDur
-			upload.Transfer(p.IngestBitrate.BytesIn(pieceDur), netem.Reliable, func(netem.Delivery) {
+			bytes := p.IngestBitrate.BytesIn(pieceDur)
+			landed := func(netem.Delivery) {
 				queuedMedia -= pieceDur
 				pieceLanded(segIdx)
-			})
+			}
+			if deg != nil {
+				// Spatial fallback is not a skip: the degraded piece still
+				// uploads (narrower horizon), so the segment stays whole.
+				deg.watch(upload, deg.pieceBytes(bytes), landed)
+				return
+			}
+			upload.Transfer(bytes, netem.Reliable, landed)
 		})
 	}
 	clock.Run()
@@ -313,10 +406,48 @@ func MeasureE2E(seed int64, p Platform, cond Condition, broadcastDur time.Durati
 		downTrace = netem.Constant(cond.Down)
 	}
 	v := newViewerSim(clock, p, downTrace, propagation, broadcastDur)
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v})
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, nil, nil)
 	res := v.finish()
 	res.SkippedSegments = skips
 	return res
+}
+
+// MeasureE2EResilient simulates one broadcast with the breaker-driven
+// spatial fallback active: upload-piece timeouts trip the uplink
+// breaker, degraded pieces carry only the fallback horizon's share of
+// the panorama, and recovery re-closes the breaker and restores the
+// full 360°. Traces are passed directly (rather than a Condition) so
+// chaos harnesses can pre-carve fault windows into them, and
+// cfg.ArmFaults can attach a fault plan to the upload path itself.
+func MeasureE2EResilient(seed int64, p Platform, upTrace, downTrace *netem.BandwidthTrace,
+	broadcastDur time.Duration, cfg DegradeConfig) ResilientRun {
+	clock := sim.NewClock(seed)
+	const propagation = 20 * time.Millisecond
+	const pieceDur = 250 * time.Millisecond
+	deadline := cfg.PieceDeadline
+	if deadline <= 0 {
+		deadline = 2 * pieceDur
+	}
+	plan := cfg.Plan
+	if plan.SpanDeg <= 0 {
+		plan.SpanDeg = 180
+	}
+	deg := &degrader{
+		clock:    clock,
+		br:       transport.NewBreaker(clock, cfg.Breaker),
+		plan:     plan,
+		deadline: deadline,
+	}
+	v := newViewerSim(clock, p, downTrace, propagation, broadcastDur)
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, deg, cfg.ArmFaults)
+	res := v.finish()
+	res.SkippedSegments = skips
+	return ResilientRun{
+		Result:         res,
+		DegradedPieces: deg.degradedPieces,
+		TotalPieces:    deg.totalPieces,
+		Transitions:    deg.br.Transitions(),
+	}
 }
 
 // MeasureViewers runs one broadcast with a population of viewers, each
@@ -340,7 +471,7 @@ func MeasureViewers(seed int64, p Platform, upBPS float64, downBPS []float64,
 		}
 		viewers[i] = newViewerSim(clock, p, tr, propagation, broadcastDur)
 	}
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, viewers)
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, viewers, nil, nil)
 	out := make([]Result, len(viewers))
 	for i, v := range viewers {
 		out[i] = v.finish()

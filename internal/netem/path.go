@@ -62,7 +62,12 @@ type Path struct {
 	freeAt     time.Duration // when the link drains its current queue
 	inFlight   int
 	bytesMoved int64
+	outages    []outage
 }
+
+// outage is a half-open blackout window [from, to) during which the
+// path carries nothing.
+type outage struct{ from, to time.Duration }
 
 // NewPath creates a path on the given clock. A nil trace means
 // unlimited bandwidth.
@@ -76,6 +81,53 @@ func NewPath(clock *sim.Clock, name string, trace *BandwidthTrace, latency time.
 // SetTrace replaces the bandwidth schedule (takes effect for transfers
 // that start afterwards).
 func (p *Path) SetTrace(tr *BandwidthTrace) { p.trace = tr }
+
+// Trace returns the current bandwidth schedule (nil = unlimited).
+func (p *Path) Trace() *BandwidthTrace { return p.trace }
+
+// AddOutage marks [from, to) as a blackout window: reliable transfers
+// whose service would begin inside it defer to the window's end (TCP
+// retransmitting until the path heals), best-effort transfers beginning
+// inside it are lost deterministically. Callers modelling a full outage
+// should also clamp the trace to zero over the window (see
+// BandwidthTrace.Clamp) so transfers already in service stall through
+// it.
+func (p *Path) AddOutage(from, to time.Duration) {
+	if to <= from {
+		return
+	}
+	p.outages = append(p.outages, outage{from, to})
+}
+
+// InOutage reports whether t falls inside a registered outage window.
+func (p *Path) InOutage(t time.Duration) bool {
+	_, in := p.outageEnd(t)
+	return in
+}
+
+// outageEnd returns the end of the outage window containing t, walking
+// chained windows (an outage ending exactly where another begins).
+func (p *Path) outageEnd(t time.Duration) (time.Duration, bool) {
+	end, in := t, false
+	for changed := true; changed; {
+		changed = false
+		for _, o := range p.outages {
+			if end >= o.from && end < o.to {
+				end, in, changed = o.to, true, true
+			}
+		}
+	}
+	return end, in
+}
+
+// Stall freezes the link for d starting now: transfers submitted from
+// now on do not begin service before now+d. Transfers already scheduled
+// keep their completion times (their bytes are already "in the pipe").
+func (p *Path) Stall(d time.Duration) {
+	if t := p.clock.Now() + d; t > p.freeAt {
+		p.freeAt = t
+	}
+}
 
 // RateAt reports the path's raw rate at time t (Inf for unlimited).
 func (p *Path) RateAt(t time.Duration) float64 {
@@ -117,6 +169,22 @@ func (p *Path) Transfer(bytes int64, qos QoS, done func(Delivery)) *sim.Event {
 	start := now
 	if p.freeAt > start {
 		start = p.freeAt
+	}
+	if end, in := p.outageEnd(start); in {
+		if qos == BestEffort {
+			// The datagram burst enters a dead path and vanishes; the
+			// sender learns of the loss once the window has passed.
+			p.inFlight++
+			return p.clock.Schedule(end, func() {
+				p.inFlight--
+				if done != nil {
+					done(Delivery{Start: now, Service: start, Done: p.clock.Now(), Bytes: bytes, OK: false})
+				}
+			})
+		}
+		// Reliable transfers retransmit until the path heals: service
+		// begins at the window's end.
+		start = end
 	}
 	var finish time.Duration
 	rate := p.RateAt(start)
@@ -162,6 +230,9 @@ func (p *Path) EstimateTransferTime(bytes int64) time.Duration {
 	start := now
 	if p.freeAt > start {
 		start = p.freeAt
+	}
+	if end, in := p.outageEnd(start); in {
+		start = end
 	}
 	if p.trace == nil {
 		return start - now + p.Latency

@@ -9,6 +9,7 @@ package netem
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -119,6 +120,48 @@ func (tr *BandwidthTrace) FinishTime(start time.Duration, bytes int64) time.Dura
 		t = segEnd
 		i++
 	}
+}
+
+// Clamp returns a new trace whose rate inside [from, to) is capped at
+// bps — the primitive fault plans use to carve bandwidth cliffs
+// (bps > 0) and blackout windows (bps == 0) into a schedule. A nil
+// receiver is treated as an unlimited-rate base. Outside the window the
+// trace is unchanged.
+func (tr *BandwidthTrace) Clamp(from, to time.Duration, bps float64) *BandwidthTrace {
+	if from < 0 {
+		from = 0
+	}
+	if to <= from {
+		return tr
+	}
+	rateAt := func(t time.Duration) float64 {
+		if tr == nil {
+			return math.Inf(1)
+		}
+		return tr.RateAt(t)
+	}
+	points := []time.Duration{0, from, to}
+	if tr != nil {
+		for _, st := range tr.steps {
+			points = append(points, st.start)
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	out := &BandwidthTrace{}
+	for i, t := range points {
+		if i > 0 && t == points[i-1] {
+			continue
+		}
+		r := rateAt(t)
+		if t >= from && t < to && r > bps {
+			r = bps
+		}
+		if n := len(out.steps); n > 0 && out.steps[n-1].bps == r {
+			continue
+		}
+		out.steps = append(out.steps, traceStep{t, r})
+	}
+	return out
 }
 
 // MeanRate returns the average rate over [from, to].

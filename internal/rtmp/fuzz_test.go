@@ -21,6 +21,26 @@ func FuzzReadMessage(f *testing.F) {
 		f.Add(buf.Bytes())
 	}
 	f.Add([]byte{})
+	// Truncated-header seeds: a peer can die after any byte of the 9-byte
+	// frame header.
+	{
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, Message{Type: TypeVideo, Payload: make([]byte, 64)}); err != nil {
+			f.Fatal(err)
+		}
+		whole := buf.Bytes()
+		for _, cut := range []int{1, 4, 8} {
+			f.Add(append([]byte(nil), whole[:cut]...))
+		}
+		// Mid-message cuts: a complete header whose declared payload is cut
+		// short — the abrupt-disconnect shape ReadMessage must refuse
+		// without panicking.
+		f.Add(append([]byte(nil), whole[:9]...))
+		f.Add(append([]byte(nil), whole[:9+32]...))
+	}
+	// A header declaring a huge payload followed by almost nothing: the
+	// reader must bound allocation, not trust the length field.
+	f.Add([]byte{byte(TypeVideo), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 'x'})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadMessage(bytes.NewReader(data))
 		if err != nil {

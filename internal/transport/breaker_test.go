@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"sperke/internal/sim"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clock := sim.NewClock(1)
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 3})
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below threshold")
+	}
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at threshold")
+	}
+	if !b.Opened() {
+		t.Fatal("Opened() false after trip")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clock := sim.NewClock(1)
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 3})
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	clock := sim.NewClock(1)
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 1, Cooldown: 2 * time.Second})
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	if got := b.RetryAt(); got != 2*time.Second {
+		t.Fatalf("RetryAt = %v, want 2s", got)
+	}
+	clock.RunUntil(time.Second)
+	if b.Allow() {
+		t.Fatal("allowed before cooldown")
+	}
+	clock.RunUntil(2 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("cooldown did not half-open")
+	}
+	if !b.Allow() {
+		t.Fatal("half-open refused the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open allowed a second concurrent probe")
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatal("probe success did not close")
+	}
+	if !b.Reclosed() {
+		t.Fatal("Reclosed() false after open→half-open→closed")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := sim.NewClock(1)
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.OnFailure()
+	clock.RunUntil(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe allowed")
+	}
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure did not reopen")
+	}
+	if got := b.RetryAt(); got != 2*time.Second {
+		t.Fatalf("RetryAt = %v, want a fresh full cooldown (2s)", got)
+	}
+}
+
+func TestBreakerProbeSuccessesThreshold(t *testing.T) {
+	clock := sim.NewClock(1)
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, ProbeSuccesses: 2})
+	b.OnFailure()
+	clock.RunUntil(time.Second)
+	b.Allow()
+	b.OnSuccess()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("closed after 1 of 2 required probe successes")
+	}
+	b.Allow()
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatal("did not close after 2 probe successes")
+	}
+}
+
+func TestBreakerTransitionsLog(t *testing.T) {
+	clock := sim.NewClock(1)
+	b := NewBreaker(clock, BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	b.OnFailure()
+	clock.RunUntil(time.Second)
+	b.Allow()
+	b.OnSuccess()
+	trs := b.Transitions()
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(trs) != len(want) {
+		t.Fatalf("%d transitions, want %d: %+v", len(trs), len(want), trs)
+	}
+	for i, w := range want {
+		if trs[i].To != w {
+			t.Fatalf("transition %d to %v, want %v", i, trs[i].To, w)
+		}
+	}
+	if trs[1].At != time.Second {
+		t.Fatalf("half-open at %v, want 1s", trs[1].At)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" ||
+		BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("bad state strings")
+	}
+}

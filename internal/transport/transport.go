@@ -51,7 +51,8 @@ type Request struct {
 	// met. May be nil.
 	OnDone func(d netem.Delivery, metDeadline bool)
 
-	seq int // submission order, for stable tie-breaks
+	seq     int // submission order, for stable tie-breaks
+	retries int // redispatches consumed after lost deliveries (Failover)
 }
 
 // less orders requests by Table 1: urgent before regular, FoV before
@@ -104,6 +105,15 @@ func (q *Queue) Pop() *Request {
 		return nil
 	}
 	return heap.Pop(&q.h).(*Request)
+}
+
+// Peek returns the highest-priority request without removing it, or
+// nil.
+func (q *Queue) Peek() *Request {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
 }
 
 // Len returns the number of queued requests.
