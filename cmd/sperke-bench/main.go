@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"sperke/internal/experiments"
+	"sperke/internal/obs"
 )
 
 func main() {
@@ -23,7 +24,35 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
 	format := flag.String("format", "text", "output format: text or csv")
+	metricsJSON := flag.String("metrics-json", "", `dump an aggregate JSON metrics snapshot after the run ("-" = stderr)`)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		experiments.SetObs(reg)
+	}
+	dumpMetrics := func() {
+		if reg == nil {
+			return
+		}
+		// Tables go to stdout, so "-" routes the snapshot to stderr to
+		// keep piped output parseable.
+		if *metricsJSON == "-" {
+			reg.WriteJSON(os.Stderr)
+			return
+		}
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	render := func(t *experiments.Table) {
 		if *format == "csv" {
@@ -47,9 +76,11 @@ func main() {
 			os.Exit(1)
 		}
 		render(t)
+		dumpMetrics()
 		return
 	}
 	for _, t := range experiments.RunAll(*seed) {
 		render(t)
 	}
+	dumpMetrics()
 }

@@ -20,6 +20,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"sperke/internal/faults"
 	"sperke/internal/media"
 	"sperke/internal/netem"
+	"sperke/internal/obs"
 	"sperke/internal/rtmp"
 	"sperke/internal/tiling"
 )
@@ -46,9 +48,18 @@ func run() error {
 	faultErrors := flag.Int("fault-errors", 0, "inject this many 502 responses on chunk fetches")
 	faultTruncate := flag.Int("fault-truncate", 0, "truncate this many chunk response bodies mid-flight")
 	faultSeed := flag.Int64("fault-seed", 42, "fault injection seed")
+	debugAddr := flag.String("debug-addr", "", "listen address for pprof/expvar debug endpoints (empty = disabled)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	reg := obs.Default()
+	reg.PublishExpvar("sperke")
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux via its import; a side
+		// port keeps the debug surface off the pipeline's listeners.
+		go http.ListenAndServe(*debugAddr, nil)
+	}
 
 	video := &media.Video{
 		ID:             "live",
@@ -94,7 +105,9 @@ func run() error {
 	// Optional server-side chaos: a deterministic burst of 5xx responses
 	// and truncated bodies on the chunk route, which the viewer's
 	// resilient client must absorb.
-	var handler http.Handler = dash.NewServer(catalog, log)
+	dashSrv := dash.NewServer(catalog, log)
+	dashSrv.Obs = reg
+	var handler http.Handler = dashSrv
 	var injector *faults.Injector
 	if *faultErrors > 0 || *faultTruncate > 0 {
 		var rules []faults.Rule
@@ -163,6 +176,7 @@ func run() error {
 
 	// --- viewer: poll the MPD, fetch new chunks, record E2E latency ---
 	client := dash.NewClient("http://" + dashLn.Addr().String())
+	client.Obs = reg
 	fmt.Printf("live broadcast: %d segments of %v, uplink %s\n",
 		nSegs, *segment, shapingLabel(*uplinkMbps))
 	fetched, attempts := 0, 0

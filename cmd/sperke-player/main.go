@@ -24,6 +24,7 @@ import (
 	"sperke/internal/media"
 	"sperke/internal/multipath"
 	"sperke/internal/netem"
+	"sperke/internal/obs"
 	"sperke/internal/sim"
 	"sperke/internal/tiling"
 	"sperke/internal/trace"
@@ -52,6 +53,7 @@ func run() error {
 	faultPlan := flag.String("faults", "", `fault plan against the network, e.g. "outage:wifi:20s:5s,cliff:lte:30s:10s:500k"`)
 	budget := flag.Float64("budget", 0, "user bandwidth budget in Mbit/s (0 = none, §3.1.2)")
 	timeline := flag.Bool("timeline", false, "print the session event timeline")
+	metricsJSON := flag.String("metrics-json", "", `dump a JSON metrics snapshot after the run ("-" = stdout)`)
 	flag.Parse()
 
 	encoding := media.EncodingAVC
@@ -139,6 +141,11 @@ func run() error {
 		EnableUpgrades:  *upgrades,
 		BandwidthBudget: *budget * 1e6,
 	}
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
+	}
 	if *timeline {
 		cfg.Observer = func(e core.Event) {
 			switch e.Kind {
@@ -175,5 +182,27 @@ func run() error {
 			rep.Upgrades, rep.UpgradesDeferred, rep.UpgradesSkipped)
 	}
 	fmt.Printf("  QoE score         %.1f / 100\n", m.Score(video.Qualities()-1))
+	if reg != nil {
+		if err := dumpMetrics(reg, *metricsJSON); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpMetrics writes the registry snapshot as JSON to path ("-" means
+// stdout).
+func dumpMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -8,14 +8,18 @@
 //
 //	sperke-server -addr :8360
 //	curl http://localhost:8360/v/demo/manifest.mpd
+//	curl http://localhost:8360/metrics
+//	sperke-server -debug-addr :6060   # pprof + expvar on a side port
 package main
 
 import (
 	"context"
+	_ "expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,11 +27,13 @@ import (
 
 	"sperke/internal/dash"
 	"sperke/internal/media"
+	"sperke/internal/obs"
 	"sperke/internal/tiling"
 )
 
 func main() {
 	addr := flag.String("addr", ":8360", "listen address")
+	debugAddr := flag.String("debug-addr", "", "listen address for pprof/expvar debug endpoints (empty = disabled)")
 	dur := flag.Duration("duration", 2*time.Minute, "demo video duration")
 	chunk := flag.Duration("chunk", 2*time.Second, "chunk duration")
 	rows := flag.Int("rows", 4, "tile grid rows")
@@ -75,7 +81,28 @@ func main() {
 			"tiles", v.Grid.Tiles(), "encoding", v.Encoding.String())
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: dash.NewServer(catalog, log)}
+	reg := obs.Default()
+	reg.PublishExpvar("sperke")
+
+	dashSrv := dash.NewServer(catalog, log)
+	dashSrv.Obs = reg
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", dashSrv)
+
+	if *debugAddr != "" {
+		// net/http/pprof and expvar register /debug/pprof and /debug/vars
+		// on http.DefaultServeMux via their imports; serving it on a side
+		// port keeps debug endpoints off the content-facing listener.
+		go func() {
+			log.Info("debug endpoints listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Error("debug server exited", "err", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

@@ -20,6 +20,7 @@ import (
 	"sperke/internal/hmp"
 	"sperke/internal/media"
 	"sperke/internal/netem"
+	"sperke/internal/obs"
 	"sperke/internal/player"
 	"sperke/internal/qoe"
 	"sperke/internal/sim"
@@ -110,6 +111,11 @@ type Config struct {
 	// Fig. 4. Chunks evicted before they play are lost and must be
 	// rushed again at play time. 0 means unlimited.
 	EncodedCacheBytes int64
+	// Obs, when set, wires the session's player-side components (chunk
+	// cache, frame cache, decode scheduler) into a metrics registry so
+	// decode-deadline outcomes and cache hit ratios are observable
+	// outside test assertions. Nil disables metrics.
+	Obs *obs.Registry
 }
 
 func (c *Config) withDefaults() error {
@@ -230,6 +236,9 @@ func NewSession(clock *sim.Clock, cfg Config, head *trace.HeadTrace, sched trans
 	}
 	if cfg.EncodedCacheBytes > 0 {
 		s.ccache = player.NewChunkCache(cfg.EncodedCacheBytes)
+		if cfg.Obs != nil {
+			s.ccache.SetObs(cfg.Obs)
+		}
 	}
 	if cfg.Device != nil {
 		n := cfg.Decoders
@@ -242,6 +251,10 @@ func NewSession(clock *sim.Clock, cfg Config, head *trace.HeadTrace, sched trans
 		s.pool = codec.NewPool(clock, cfg.Device.Decoder, n)
 		s.fcache = player.NewFrameCache(4 * cfg.Video.Grid.Tiles())
 		s.dsched = player.NewDecodeScheduler(clock, s.pool, s.fcache)
+		if cfg.Obs != nil {
+			s.fcache.SetObs(cfg.Obs)
+			s.dsched.SetObs(cfg.Obs)
+		}
 	}
 	return s, nil
 }
@@ -282,7 +295,30 @@ func (s *Session) Run() Report {
 	s.clock.Run()
 	s.accountWaste()
 	s.rep.QoE = s.col.Metrics()
+	s.publishReport()
 	return s.rep
+}
+
+// publishReport mirrors the finished session's report into the metrics
+// registry (core.session.*). Counters add across sessions, so a bench
+// run over many sessions accumulates aggregate totals.
+func (s *Session) publishReport() {
+	r := s.cfg.Obs
+	if r == nil {
+		return
+	}
+	r.Counter("core.session.runs").Inc()
+	r.Counter("core.session.bytes_fetched").Add(s.rep.BytesFetched)
+	r.Counter("core.session.bytes_wasted").Add(s.rep.BytesWasted)
+	r.Counter("core.session.urgent_fetches").Add(int64(s.rep.UrgentFetches))
+	r.Counter("core.session.upgrades").Add(int64(s.rep.Upgrades))
+	r.Counter("core.session.sync_redecodes").Add(int64(s.rep.SyncRedecodes))
+	r.Counter("core.session.stalls").Add(int64(s.rep.QoE.Stalls))
+	r.Histogram("core.session.startup_ms").Observe(
+		float64(s.rep.StartupDelay) / float64(time.Millisecond))
+	r.Histogram("core.session.stall_ms").Observe(
+		float64(s.rep.QoE.StallTime) / float64(time.Millisecond))
+	r.Histogram("core.session.mean_fov_quality").Observe(s.rep.QoE.MeanQuality())
 }
 
 // ---- bookkeeping helpers ----

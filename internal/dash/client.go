@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sperke/internal/media"
+	"sperke/internal/obs"
 )
 
 // DefaultTimeout bounds a whole HTTP exchange when the caller does not
@@ -123,6 +124,10 @@ type Client struct {
 	// Sleep pauses between attempts; replaceable for tests. Defaults to
 	// a context-aware sleep that returns early when ctx expires.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Obs, when set, records fetch counts, attempts, retry/backoff
+	// outcomes, received bytes, error counts by kind, and a per-segment
+	// latency histogram (dash.client.*). Nil disables metrics.
+	Obs *obs.Registry
 }
 
 // NewClient builds a client for a server root URL.
@@ -196,16 +201,21 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 	pol := c.Retry.withDefaults()
 	for attempt := 1; ; attempt++ {
+		c.Obs.Counter("dash.client.attempts").Inc()
 		data, derr := c.getOnce(ctx, path, pol.AttemptTimeout)
 		if derr == nil {
+			c.Obs.Counter("dash.client.bytes_rx").Add(int64(len(data)))
 			return data, attempt, nil
 		}
 		derr.Attempts = attempt
 		if !derr.Retryable() || attempt >= pol.MaxAttempts {
+			c.Obs.Counter("dash.client.errors." + derr.Kind.String()).Inc()
 			return nil, attempt, derr
 		}
+		c.Obs.Counter("dash.client.retries").Inc()
 		if err := c.sleep(ctx, pol.backoff(attempt)); err != nil {
 			derr.Kind = KindCanceled
+			c.Obs.Counter("dash.client.errors." + derr.Kind.String()).Inc()
 			return nil, attempt, derr
 		}
 	}
@@ -213,6 +223,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 
 // FetchMPD downloads and parses a video's manifest.
 func (c *Client) FetchMPD(ctx context.Context, videoID string) (*MPD, error) {
+	c.Obs.Counter("dash.client.mpd_fetches").Inc()
 	data, _, err := c.get(ctx, mpdPath(videoID))
 	if err != nil {
 		return nil, err
@@ -261,6 +272,11 @@ func (c *Client) fetchSegment(ctx context.Context, path string) (FetchResult, er
 			// sample would poison downstream bandwidth estimates.
 			elapsed = time.Millisecond
 		}
+		c.Obs.Counter("dash.client.segment_fetches").Inc()
+		if attempts > 1 {
+			c.Obs.Counter("dash.client.segment_fetches_retried").Inc()
+		}
+		c.Obs.Histogram("dash.client.fetch_ms").Observe(float64(elapsed) / float64(time.Millisecond))
 		return FetchResult{
 			Header:        h,
 			Payload:       payload,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sperke/internal/media"
+	"sperke/internal/obs"
 	"sperke/internal/tiling"
 )
 
@@ -93,9 +94,43 @@ func (c *Catalog) liveWindow(id string) ([2]int, bool) {
 type Server struct {
 	Catalog *Catalog
 	Log     *slog.Logger
+	// Obs, when set before the first request, records request counts,
+	// response bytes, error counts and a per-request latency histogram
+	// (dash.server.*). Nil disables metrics.
+	Obs *obs.Registry
 
 	mux  *http.ServeMux
 	once sync.Once
+	met  serverMetrics
+}
+
+// serverMetrics caches the server's instruments; nil fields no-op.
+type serverMetrics struct {
+	requests  *obs.Counter
+	mpd       *obs.Counter
+	chunks    *obs.Counter
+	errors    *obs.Counter
+	bytesTx   *obs.Counter
+	requestMS *obs.Histogram
+	wall      *obs.Wall
+}
+
+// countingWriter captures status and body bytes for metrics.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *countingWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // NewServer builds a server over a catalog.
@@ -111,6 +146,17 @@ func (s *Server) init() {
 	s.mux.HandleFunc("GET /v", s.handleList)
 	s.mux.HandleFunc("GET /v/{video}/manifest.mpd", s.handleMPD)
 	s.mux.HandleFunc("GET /v/{video}/c/{quality}/{tile}/{index}", s.handleChunk)
+	s.met = serverMetrics{
+		requests:  s.Obs.Counter("dash.server.requests"),
+		mpd:       s.Obs.Counter("dash.server.mpd_requests"),
+		chunks:    s.Obs.Counter("dash.server.chunk_requests"),
+		errors:    s.Obs.Counter("dash.server.errors"),
+		bytesTx:   s.Obs.Counter("dash.server.bytes_tx"),
+		requestMS: s.Obs.Histogram("dash.server.request_ms"),
+	}
+	if s.Obs != nil {
+		s.met.wall = obs.NewWall()
+	}
 }
 
 // handleList returns the catalog's video IDs, one per line.
@@ -124,10 +170,23 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.once.Do(s.init)
-	s.mux.ServeHTTP(w, r)
+	if s.met.wall == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := s.met.wall.Now()
+	cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(cw, r)
+	s.met.requests.Inc()
+	s.met.bytesTx.Add(cw.bytes)
+	if cw.status >= 400 {
+		s.met.errors.Inc()
+	}
+	s.met.requestMS.Observe(float64(s.met.wall.Now()-start) / float64(time.Millisecond))
 }
 
 func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+	s.met.mpd.Inc()
 	v, ok := s.Catalog.Get(r.PathValue("video"))
 	if !ok {
 		http.NotFound(w, r)
@@ -149,6 +208,7 @@ func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	s.met.chunks.Inc()
 	v, ok := s.Catalog.Get(r.PathValue("video"))
 	if !ok {
 		http.NotFound(w, r)

@@ -13,7 +13,19 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"sperke/internal/obs"
 )
+
+// obsReg, when set, is wired into every session the suite runs so
+// sperke-bench can dump an aggregate metrics snapshot. Nil disables
+// metrics (the default; experiments stay pure functions of their seed —
+// metrics are observation only and never feed back into results).
+var obsReg *obs.Registry
+
+// SetObs routes all subsequently-run experiments' player-side metrics
+// (caches, decode scheduler, fetch pipeline) into the registry.
+func SetObs(r *obs.Registry) { obsReg = r }
 
 // Table is one experiment's output: labeled columns, formatted rows,
 // and free-form notes (calibration caveats, paper reference values).

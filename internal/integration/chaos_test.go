@@ -2,17 +2,24 @@ package integration
 
 import (
 	"context"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
 
+	"sperke/internal/codec"
+	"sperke/internal/core"
 	"sperke/internal/dash"
 	"sperke/internal/faults"
 	"sperke/internal/live"
+	"sperke/internal/media"
 	"sperke/internal/netem"
+	"sperke/internal/obs"
 	"sperke/internal/sim"
+	"sperke/internal/tiling"
+	"sperke/internal/trace"
 	"sperke/internal/transport"
 )
 
@@ -34,6 +41,7 @@ func breakerCycle(trs []transport.BreakerTransition) (opened, reclosed bool) {
 // active. The session must complete with bounded rebuffering and the
 // breaker must open and re-close.
 func TestChaosBroadcastSurvivesScriptedPlan(t *testing.T) {
+	reg := obs.NewRegistry()
 	plan := faults.MustParse("outage:uplink:8s:4s,cliff:uplink:16s:4s:1M")
 	run := live.MeasureE2EResilient(5, live.Facebook,
 		netem.Constant(8e6), netem.Constant(10e6), 30*time.Second,
@@ -45,6 +53,7 @@ func TestChaosBroadcastSurvivesScriptedPlan(t *testing.T) {
 					t.Errorf("apply plan: %v", err)
 				}
 			},
+			Obs: reg,
 		})
 
 	opened, reclosed := breakerCycle(run.Transitions)
@@ -67,6 +76,31 @@ func TestChaosBroadcastSurvivesScriptedPlan(t *testing.T) {
 		t.Fatalf("fallback accounting %d/%d — expected partial degradation",
 			run.DegradedPieces, run.TotalPieces)
 	}
+
+	// The whole episode must be visible through the metrics registry: the
+	// breaker cycle, the fallback doing work, and the pipeline's latency
+	// histograms filling in.
+	snap := reg.Snapshot()
+	if n := snap.Counters["transport.breaker.to_open"]; n < 1 {
+		t.Fatalf("breaker.to_open counter = %d, want >= 1", n)
+	}
+	if n := snap.Counters["transport.breaker.to_closed"]; n < 1 {
+		t.Fatalf("breaker.to_closed counter = %d, want >= 1", n)
+	}
+	if n := snap.Counters["live.fallback.activations"]; n < 1 {
+		t.Fatalf("fallback activations counter = %d, want >= 1", n)
+	}
+	if n := snap.Counters["live.fallback.degraded_pieces"]; n != int64(run.DegradedPieces) {
+		t.Fatalf("degraded_pieces counter = %d, want %d", n, run.DegradedPieces)
+	}
+	if h := snap.Histograms["live.e2e_ms"]; h.Count == 0 {
+		t.Fatal("live.e2e_ms histogram empty — viewer latency unobserved")
+	}
+	for _, stage := range []string{"span.encode_ms", "span.upload_ms", "span.transcode_ms", "span.fetch_ms"} {
+		if h := snap.Histograms[stage]; h.Count == 0 {
+			t.Fatalf("%s histogram empty — stage span unrecorded", stage)
+		}
+	}
 }
 
 // TestChaosChunkSessionFailsOver replays a path outage against a
@@ -85,6 +119,8 @@ func TestChaosChunkSessionFailsOver(t *testing.T) {
 	}
 	f := transport.NewFailover(clock,
 		transport.BreakerConfig{FailureThreshold: 1, Cooldown: 2 * time.Second}, wifi, lte)
+	reg := obs.NewRegistry()
+	f.SetObs(reg)
 
 	completions, missed := 0, 0
 	submit := func(at time.Duration, bytes int64) {
@@ -129,6 +165,23 @@ func TestChaosChunkSessionFailsOver(t *testing.T) {
 	}
 	if f.Stats(1).Successes == 0 {
 		t.Fatal("lte absorbed nothing during the wifi outage")
+	}
+
+	// The failover's work must be observable: reroutes counted, the queue
+	// drained back to zero, and the breaker cycle mirrored in counters.
+	snap := reg.Snapshot()
+	if n := snap.Counters["transport.failover.rerouted"]; n < 1 {
+		t.Fatalf("rerouted counter = %d, want >= 1", n)
+	}
+	if n := snap.Gauges["transport.failover.queue_depth"]; n != 0 {
+		t.Fatalf("queue_depth gauge = %d at session end, want 0", n)
+	}
+	wantSucc := int64(f.Stats(0).Successes + f.Stats(1).Successes)
+	if n := snap.Counters["transport.failover.successes"]; n != wantSucc {
+		t.Fatalf("successes counter = %d, want %d (per-path stats)", n, wantSucc)
+	}
+	if n := snap.Counters["transport.breaker.to_open"]; n < 1 {
+		t.Fatalf("breaker.to_open counter = %d, want >= 1", n)
 	}
 }
 
@@ -200,5 +253,77 @@ func TestChaosHTTPFaultBurstAndTruncation(t *testing.T) {
 			t.Fatalf("goroutines %d -> %d after session teardown", before, runtime.NumGoroutine())
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosSlowDeviceMetricsObservable runs a full player session on a
+// pathologically slow device with a tight chunk-cache budget and checks
+// that the stress is visible end-to-end through the metrics registry:
+// decode-deadline misses fire, both caches record hits and misses, and
+// the session report lands in the core.session counters. This is the
+// acceptance path for "cache hit ratios and decode-deadline misses all
+// observable".
+func TestChaosSlowDeviceMetricsObservable(t *testing.T) {
+	reg := obs.NewRegistry()
+	video := &media.Video{
+		ID:             "chaos-device",
+		Duration:       30 * time.Second,
+		ChunkDuration:  2 * time.Second,
+		Grid:           tiling.GridCellular,
+		ProjectionName: "equirectangular",
+		Ladder:         media.DefaultLadder,
+		Encoding:       media.EncodingAVC,
+	}
+	// A 2 Mpx/s single decoder cannot keep up with a 360° tile stream —
+	// the same "potato" profile the core tests use to force hiccups.
+	slow := codec.DeviceProfile{
+		Name:          "potato",
+		HWDecoders:    1,
+		Decoder:       codec.DecoderSpec{PixelRate: 2e6, SubmitOverhead: 5 * time.Millisecond},
+		MaxDisplayFPS: 60,
+	}
+	cfg := core.Config{
+		Video:             video,
+		Mode:              core.FoVGuided,
+		Device:            &slow,
+		Decoders:          1,
+		EncodedCacheBytes: 2 << 20, // tight: forces chunk-cache churn
+		Obs:               reg,
+	}
+
+	clock := sim.NewClock(14)
+	path := netem.NewPath(clock, "net", netem.Constant(15e6), 20*time.Millisecond, 0)
+	sched := transport.NewSinglePath(clock, path)
+	dur := video.Duration + 10*time.Second
+	rng := rand.New(rand.NewSource(14))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(514)), dur)
+	head := trace.Generate(rng, trace.UserProfile{ID: "u", SpeedScale: 1}, att, dur)
+	s, err := core.NewSession(clock, cfg, head, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run()
+	if rep.QoE.PlayTime == 0 {
+		t.Fatal("session played nothing")
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Counters["player.decode.deadline_misses"]; n < 1 {
+		t.Fatalf("deadline_misses = %d on a 2 Mpx/s decoder, want >= 1", n)
+	}
+	if h := snap.Counters["player.frame_cache.hits"]; h < 1 {
+		t.Fatalf("frame cache hits = %d, want >= 1", h)
+	}
+	if m := snap.Counters["player.frame_cache.misses"]; m < 1 {
+		t.Fatalf("frame cache misses = %d, want >= 1", m)
+	}
+	if h := snap.Counters["player.chunk_cache.hits"]; h < 1 {
+		t.Fatalf("chunk cache hits = %d, want >= 1", h)
+	}
+	if n := snap.Counters["core.session.runs"]; n != 1 {
+		t.Fatalf("core.session.runs = %d, want 1", n)
+	}
+	if n := snap.Counters["core.session.bytes_fetched"]; n != rep.BytesFetched {
+		t.Fatalf("bytes_fetched counter = %d, report says %d", n, rep.BytesFetched)
 	}
 }

@@ -103,7 +103,7 @@ func MeasureFoVGuidedLive(seed int64, p Platform, g tiling.Grid, proj sphere.Pro
 		}
 	}
 
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, nil, nil)
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, nil, nil, nil)
 	res := v.finish()
 	res.SkippedSegments = skips
 	if n := len(fetched); n > 0 {

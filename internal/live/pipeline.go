@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sperke/internal/netem"
+	"sperke/internal/obs"
 	"sperke/internal/sim"
 	"sperke/internal/transport"
 )
@@ -74,6 +75,12 @@ type viewerSim struct {
 	sizeOf func(seg segment, rate float64) int64
 	// onDisplay, when set, observes each segment as it starts playing.
 	onDisplay func(seg segment, at time.Duration)
+
+	// obsReg and tracer, when set, record per-segment E2E latency
+	// (live.e2e_ms), rebuffer events, and fetch-stage spans. Both are
+	// nil-safe no-ops by default.
+	obsReg *obs.Registry
+	tracer *obs.Tracer
 }
 
 func newViewerSim(clock *sim.Clock, p Platform, downTrace *netem.BandwidthTrace,
@@ -116,6 +123,8 @@ func (v *viewerSim) playNext() {
 	if v.onDisplay != nil {
 		v.onDisplay(seg, v.clock.Now())
 	}
+	v.obsReg.Histogram("live.e2e_ms").Observe(
+		float64(v.clock.Now()-seg.contentStart) / float64(time.Millisecond))
 	// Only displays inside the broadcast window count: the paper's
 	// measurement stops when the broadcast does, so badly lagging
 	// pipelines contribute their in-window samples only.
@@ -148,6 +157,7 @@ func (v *viewerSim) onSegmentDownloaded(seg segment) {
 	if v.stalled {
 		v.stalled = false
 		v.res.Stalls++
+		v.obsReg.Counter("live.viewer.rebuffers").Inc()
 		v.playNext()
 	}
 }
@@ -167,7 +177,9 @@ func (v *viewerSim) pumpFetch() {
 	if v.sizeOf != nil {
 		bytes = v.sizeOf(seg, rate)
 	}
+	sp := v.tracer.Start(obs.StageFetch)
 	v.download.Transfer(bytes, netem.Reliable, func(d netem.Delivery) {
+		sp.End()
 		v.est.Add(d.Throughput())
 		v.res.BytesDownloaded += d.Bytes
 		v.fetching = false
@@ -183,7 +195,9 @@ func (v *viewerSim) fetch(seg segment) {
 		rate := v.chooseRate()
 		v.res.FinalQuality = rate
 		bytes := int64(rate * v.p.SegmentDur.Seconds() / 8)
+		sp := v.tracer.Start(obs.StageFetch)
 		v.download.Transfer(bytes, netem.Reliable, func(d netem.Delivery) {
+			sp.End()
 			v.res.BytesDownloaded += d.Bytes
 			v.onSegmentDownloaded(seg)
 		})
@@ -238,6 +252,12 @@ type DegradeConfig struct {
 	// ArmFaults, when set, runs with the clock and the upload path
 	// before the broadcast starts — the hook fault plans attach through.
 	ArmFaults func(clock *sim.Clock, upload *netem.Path)
+	// Obs, when set, records the run's pipeline metrics against the sim
+	// clock: per-stage spans (span.{encode,upload,transcode,fetch}_ms),
+	// the live.e2e_ms latency histogram, breaker transition counters,
+	// and fallback activation/degraded-piece counts. Nil disables
+	// metrics.
+	Obs *obs.Registry
 }
 
 // degrader applies a DegradeConfig inside runBroadcast: a watchdog per
@@ -250,7 +270,11 @@ type degrader struct {
 	plan     HorizonPlan
 	deadline time.Duration
 
+	obsReg *obs.Registry
+	tracer *obs.Tracer
+
 	degradedPieces, totalPieces int
+	wasDegraded                 bool
 }
 
 // pieceBytes shrinks a piece to the horizon's share while the breaker
@@ -258,9 +282,16 @@ type degrader struct {
 func (dg *degrader) pieceBytes(full int64) int64 {
 	dg.totalPieces++
 	if dg.br.State() == transport.BreakerClosed {
+		dg.wasDegraded = false
 		return full
 	}
+	if !dg.wasDegraded {
+		// One activation per contiguous degraded stretch, not per piece.
+		dg.wasDegraded = true
+		dg.obsReg.Counter("live.fallback.activations").Inc()
+	}
 	dg.degradedPieces++
+	dg.obsReg.Counter("live.fallback.degraded_pieces").Inc()
 	b := int64(float64(full) * dg.plan.Fraction())
 	if b < 1 {
 		b = 1
@@ -272,12 +303,14 @@ func (dg *degrader) pieceBytes(full int64) int64 {
 // reports the outcome to the breaker exactly once.
 func (dg *degrader) watch(upload *netem.Path, bytes int64, landed func(netem.Delivery)) {
 	submitted := dg.clock.Now()
+	sp := dg.tracer.Start(obs.StageUpload)
 	reported := false
 	watchdog := dg.clock.After(dg.deadline, func() {
 		reported = true
 		dg.br.OnFailure()
 	})
 	upload.Transfer(bytes, netem.Reliable, func(d netem.Delivery) {
+		sp.End()
 		watchdog.Cancel()
 		if !reported {
 			if d.OK && d.Done-submitted <= dg.deadline {
@@ -313,7 +346,7 @@ type ResilientRun struct {
 // skips" of §3.4.1.
 func runBroadcast(clock *sim.Clock, p Platform, upTrace *netem.BandwidthTrace,
 	propagation, broadcastDur time.Duration, viewers []*viewerSim, deg *degrader,
-	armFaults func(*sim.Clock, *netem.Path)) (skips int) {
+	tracer *obs.Tracer, armFaults func(*sim.Clock, *netem.Path)) (skips int) {
 	upload := netem.NewPath(clock, "uplink", upTrace, propagation, 0)
 	if armFaults != nil {
 		armFaults(clock, upload)
@@ -321,7 +354,9 @@ func runBroadcast(clock *sim.Clock, p Platform, upTrace *netem.BandwidthTrace,
 
 	var available []segment
 	onIngest := func(seg segment) {
+		ingestAt := clock.Now()
 		clock.After(p.ReencodeDelay, func() {
+			tracer.Record(obs.StageTranscode, ingestAt, clock.Now())
 			available = append(available, seg)
 			if !p.PullBased {
 				for _, v := range viewers {
@@ -363,6 +398,10 @@ func runBroadcast(clock *sim.Clock, p Platform, upTrace *netem.BandwidthTrace,
 		segIdx := j / piecesPerSeg
 		readyAt := time.Duration(j+1)*pieceDur + p.EncodeDelay
 		clock.Schedule(readyAt, func() {
+			// The encoder held this piece for EncodeDelay before it became
+			// ready — recorded retroactively since the sim has no explicit
+			// encoder event.
+			tracer.Record(obs.StageEncode, readyAt-p.EncodeDelay, readyAt)
 			if queuedMedia > p.UploadQueueCap {
 				degraded[segIdx] = true
 				pieceLanded(segIdx)
@@ -406,7 +445,7 @@ func MeasureE2E(seed int64, p Platform, cond Condition, broadcastDur time.Durati
 		downTrace = netem.Constant(cond.Down)
 	}
 	v := newViewerSim(clock, p, downTrace, propagation, broadcastDur)
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, nil, nil)
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, nil, nil, nil)
 	res := v.finish()
 	res.SkippedSegments = skips
 	return res
@@ -432,14 +471,20 @@ func MeasureE2EResilient(seed int64, p Platform, upTrace, downTrace *netem.Bandw
 	if plan.SpanDeg <= 0 {
 		plan.SpanDeg = 180
 	}
+	tracer := obs.NewTracer(cfg.Obs, clock)
 	deg := &degrader{
 		clock:    clock,
 		br:       transport.NewBreaker(clock, cfg.Breaker),
 		plan:     plan,
 		deadline: deadline,
+		obsReg:   cfg.Obs,
+		tracer:   tracer,
 	}
+	deg.br.Obs = cfg.Obs
 	v := newViewerSim(clock, p, downTrace, propagation, broadcastDur)
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, deg, cfg.ArmFaults)
+	v.obsReg = cfg.Obs
+	v.tracer = tracer
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, deg, tracer, cfg.ArmFaults)
 	res := v.finish()
 	res.SkippedSegments = skips
 	return ResilientRun{
@@ -471,7 +516,7 @@ func MeasureViewers(seed int64, p Platform, upBPS float64, downBPS []float64,
 		}
 		viewers[i] = newViewerSim(clock, p, tr, propagation, broadcastDur)
 	}
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, viewers, nil, nil)
+	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, viewers, nil, nil, nil)
 	out := make([]Result, len(viewers))
 	for i, v := range viewers {
 		out[i] = v.finish()

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultWindow is the sample window of registry-created histograms:
+// large enough for stable p99s over a session, small enough that a
+// snapshot sort stays cheap.
+const DefaultWindow = 2048
+
+// Histogram records float64 observations (latencies in milliseconds by
+// convention: name them *_ms) and reports quantiles over a sliding
+// window of the most recent observations. Count, Sum, Min and Max are
+// all-time; quantiles are windowed so they track current behaviour
+// rather than averaging over an entire run. Safe for concurrent use;
+// no-op on a nil receiver.
+type Histogram struct {
+	mu     sync.Mutex
+	window []float64 // ring buffer of recent samples
+	next   int       // ring write position
+	filled bool      // ring has wrapped at least once
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram keeping the most recent window
+// samples for quantiles (window < 1 uses DefaultWindow).
+func NewHistogram(window int) *Histogram {
+	if window < 1 {
+		window = DefaultWindow
+	}
+	return &Histogram{window: make([]float64, 0, window)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.window) < cap(h.window) {
+		h.window = append(h.window, v)
+		return
+	}
+	h.window[h.next] = v
+	h.next++
+	if h.next == cap(h.window) {
+		h.next = 0
+		h.filled = true
+	}
+}
+
+// Count returns the all-time observation count.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) over the window using
+// nearest-rank interpolation, or 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	samples := append([]float64(nil), h.window...)
+	h.mu.Unlock()
+	return quantile(samples, q)
+}
+
+// quantile computes the q-quantile of samples by sorting a copy —
+// the reference definition the windowed histogram is tested against.
+func quantile(samples []float64, q float64) float64 {
+	sort.Float64s(samples)
+	return sortedQuantile(samples, q)
+}
+
+// HistogramStat is a histogram snapshot for JSON export.
+type HistogramStat struct {
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Window int     `json:"window"`
+}
+
+// Stat captures the histogram's current statistics.
+func (h *Histogram) Stat() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	h.mu.Lock()
+	samples := append([]float64(nil), h.window...)
+	st := HistogramStat{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Window: len(h.window),
+	}
+	h.mu.Unlock()
+	if st.Count > 0 {
+		st.Mean = st.Sum / float64(st.Count)
+	}
+	sort.Float64s(samples)
+	st.P50 = sortedQuantile(samples, 0.5)
+	st.P95 = sortedQuantile(samples, 0.95)
+	st.P99 = sortedQuantile(samples, 0.99)
+	return st
+}
+
+// sortedQuantile is quantile over an already-sorted slice (Stat sorts
+// once for all three percentiles).
+func sortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the independent reference: sort everything, linear
+// interpolation between closest ranks.
+func refQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// TestHistogramQuantilesMatchReferenceSort feeds random samples within
+// the window and checks p50/p95/p99 against the reference sort.
+func TestHistogramQuantilesMatchReferenceSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 10, 500, DefaultWindow} {
+		h := NewHistogram(DefaultWindow)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64() * 1000
+			h.Observe(samples[i])
+		}
+		st := h.Stat()
+		for _, q := range []struct {
+			q    float64
+			got  float64
+			name string
+		}{
+			{0.5, st.P50, "p50"},
+			{0.95, st.P95, "p95"},
+			{0.99, st.P99, "p99"},
+		} {
+			want := refQuantile(samples, q.q)
+			if math.Abs(q.got-want) > 1e-9 {
+				t.Fatalf("n=%d %s = %v, reference %v", n, q.name, q.got, want)
+			}
+			if got := h.Quantile(q.q); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("n=%d Quantile(%v) = %v, reference %v", n, q.q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramWindowSlides checks that quantiles track the recent
+// window while Count/Sum stay all-time.
+func TestHistogramWindowSlides(t *testing.T) {
+	const window = 64
+	h := NewHistogram(window)
+	// Fill the window with low values, then overwrite with high ones.
+	for i := 0; i < window; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < window; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 1000 {
+		t.Fatalf("p50 after window slide = %v, want 1000 (old samples must age out)", got)
+	}
+	st := h.Stat()
+	if st.Count != 2*window {
+		t.Fatalf("all-time count = %d, want %d", st.Count, 2*window)
+	}
+	if st.Min != 1 || st.Max != 1000 {
+		t.Fatalf("all-time min/max = %v/%v", st.Min, st.Max)
+	}
+	if st.Window != window {
+		t.Fatalf("window size = %d, want %d", st.Window, window)
+	}
+}
+
+// TestHistogramPartialWindowWrap exercises the ring mid-wrap: more
+// samples than the window but not a multiple of it.
+func TestHistogramPartialWindowWrap(t *testing.T) {
+	const window = 8
+	h := NewHistogram(window)
+	var all []float64
+	for i := 0; i < window+3; i++ {
+		v := float64(i * 10)
+		all = append(all, v)
+		h.Observe(v)
+	}
+	recent := all[len(all)-window:]
+	if got, want := h.Quantile(0.5), refQuantile(recent, 0.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mid-wrap p50 = %v, want %v over the last %d samples", got, want, window)
+	}
+}
+
+// TestHistogramIgnoresNaN keeps poisoned samples out of the stats.
+func TestHistogramIgnoresNaN(t *testing.T) {
+	h := NewHistogram(8)
+	h.Observe(math.NaN())
+	h.Observe(5)
+	if st := h.Stat(); st.Count != 1 || st.Min != 5 || st.Max != 5 {
+		t.Fatalf("NaN leaked into stats: %+v", st)
+	}
+}

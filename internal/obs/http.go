@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// WriteJSON writes the registry snapshot as indented JSON — the
+// payload of the /metrics endpoint and the -metrics-json dump flags.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an http.Handler serving the registry snapshot as
+// JSON (the sperke-server /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+var expvarOnce sync.Map // name → *sync.Once
+
+// PublishExpvar publishes the registry under the given expvar name
+// (visible at /debug/vars). Safe to call more than once per name;
+// expvar itself forbids duplicate publication.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	onceAny, _ := expvarOnce.LoadOrStore(name, &sync.Once{})
+	onceAny.(*sync.Once).Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"sperke/internal/sim"
+)
+
+// TestSpanTimingWithSimClock runs spans on the deterministic sim clock
+// and checks exact durations, monotone ordering of the log, and the
+// per-stage histogram side effect.
+func TestSpanTimingWithSimClock(t *testing.T) {
+	clock := sim.NewClock(1)
+	reg := NewRegistry()
+	tr := NewTracer(reg, clock)
+
+	// Schedule a little pipeline: upload 0→200ms, transcode 200→250ms,
+	// fetch 250→400ms.
+	type stage struct {
+		name       string
+		start, end time.Duration
+	}
+	stages := []stage{
+		{StageUpload, 0, 200 * time.Millisecond},
+		{StageTranscode, 200 * time.Millisecond, 250 * time.Millisecond},
+		{StageFetch, 250 * time.Millisecond, 400 * time.Millisecond},
+	}
+	for _, st := range stages {
+		st := st
+		clock.Schedule(st.start, func() {
+			sp := tr.Start(st.name)
+			clock.Schedule(st.end, func() { sp.End() })
+		})
+	}
+	clock.Run()
+
+	spans := tr.Spans()
+	if len(spans) != len(stages) {
+		t.Fatalf("%d spans recorded, want %d", len(spans), len(stages))
+	}
+	var prevEnd time.Duration
+	for i, sp := range spans {
+		want := stages[i]
+		if sp.Stage != want.name || sp.Start != want.start || sp.End != want.end {
+			t.Fatalf("span %d = %+v, want %+v", i, sp, want)
+		}
+		if sp.End < sp.Start {
+			t.Fatalf("span %d ends before it starts: %+v", i, sp)
+		}
+		if sp.End < prevEnd {
+			t.Fatalf("span log not monotone in completion time: %+v", spans)
+		}
+		prevEnd = sp.End
+		if sp.Duration() != want.end-want.start {
+			t.Fatalf("span %d duration %v, want %v", i, sp.Duration(), want.end-want.start)
+		}
+	}
+	// Histogram side effect, in milliseconds.
+	h := reg.Histogram("span." + StageUpload + "_ms")
+	if h.Count() != 1 || h.Quantile(0.5) != 200 {
+		t.Fatalf("upload span histogram count=%d p50=%v, want 1/200ms", h.Count(), h.Quantile(0.5))
+	}
+}
+
+// TestTracerRecordRetroactive covers Record for stages timed by
+// delivery callbacks, and its refusal of negative spans.
+func TestTracerRecordRetroactive(t *testing.T) {
+	clock := sim.NewClock(2)
+	reg := NewRegistry()
+	tr := NewTracer(reg, clock)
+	tr.Record(StageEncode, 100*time.Millisecond, 130*time.Millisecond)
+	tr.Record(StageEncode, 200*time.Millisecond, 150*time.Millisecond) // negative: dropped
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Duration() != 30*time.Millisecond {
+		t.Fatalf("retroactive record wrong: %+v", spans)
+	}
+}
+
+// TestNilTracerIsNoOp pins the disabled tracing path.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(StageDecode)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil tracer span measured %v", d)
+	}
+	tr.Record(StageDecode, 0, time.Second)
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer logged spans")
+	}
+	if NewTracer(NewRegistry(), nil) != nil {
+		t.Fatal("tracer without a clock must be nil")
+	}
+}
+
+// TestSpanLogBounded keeps long runs from growing the log without
+// bound while histograms keep counting.
+func TestSpanLogBounded(t *testing.T) {
+	clock := sim.NewClock(3)
+	reg := NewRegistry()
+	tr := NewTracer(reg, clock)
+	for i := 0; i < maxSpans+100; i++ {
+		tr.Record(StageRender, 0, time.Millisecond)
+	}
+	if got := len(tr.Spans()); got != maxSpans {
+		t.Fatalf("span log grew to %d, cap is %d", got, maxSpans)
+	}
+	if got := reg.Histogram("span." + StageRender + "_ms").Count(); got != maxSpans+100 {
+		t.Fatalf("histogram stopped counting at %d", got)
+	}
+}

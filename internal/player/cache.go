@@ -2,26 +2,40 @@ package player
 
 import (
 	"container/list"
+	"sync"
 	"time"
 
+	"sperke/internal/obs"
 	"sperke/internal/tiling"
 )
 
 // ChunkCache is the encoded-chunk cache of Fig. 4: fetched chunks wait
 // in main memory until the decoding scheduler consumes them. It evicts
 // least-recently-used entries when a byte budget is exceeded.
+//
+// The cache sits between the fetch loop and the decode scheduler, which
+// in real deployments run on different goroutines, so it is safe for
+// concurrent use.
 type ChunkCache struct {
+	mu     sync.Mutex
 	budget int64
 	used   int64
 	lru    *list.List // front = most recent; values are *chunkEntry
 	byID   map[tiling.ChunkID]*list.Element
 
 	evictions int
+	met       chunkCacheMetrics
 }
 
-type chunkEntry struct {
-	id    tiling.ChunkID
-	bytes int64
+// chunkCacheMetrics caches the instruments SetObs wires; nil fields
+// no-op.
+type chunkCacheMetrics struct {
+	hits       *obs.Counter
+	misses     *obs.Counter
+	evictions  *obs.Counter
+	usedBytes  *obs.Gauge
+	overBudget *obs.Gauge
+	entries    *obs.Gauge
 }
 
 // NewChunkCache creates a cache with the given byte budget (<=0 means
@@ -34,9 +48,47 @@ func NewChunkCache(budget int64) *ChunkCache {
 	}
 }
 
+// SetObs wires the cache into a metrics registry: hit/miss/eviction
+// counters, used-bytes and entry-count gauges, and the over-budget
+// gauge that flags the keep-one case (a single entry larger than the
+// whole budget stays cached — see Put). Nil disables metrics.
+func (c *ChunkCache) SetObs(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.met = chunkCacheMetrics{
+		hits:       r.Counter("player.chunk_cache.hits"),
+		misses:     r.Counter("player.chunk_cache.misses"),
+		evictions:  r.Counter("player.chunk_cache.evictions"),
+		usedBytes:  r.Gauge("player.chunk_cache.used_bytes"),
+		overBudget: r.Gauge("player.chunk_cache.over_budget"),
+		entries:    r.Gauge("player.chunk_cache.entries"),
+	}
+}
+
+// syncGauges mirrors occupancy into the gauges; call with mu held.
+func (c *ChunkCache) syncGauges() {
+	c.met.usedBytes.Set(c.used)
+	c.met.entries.Set(int64(c.lru.Len()))
+	over := int64(0)
+	if c.budget > 0 && c.used > c.budget {
+		over = 1
+	}
+	c.met.overBudget.Set(over)
+}
+
+type chunkEntry struct {
+	id    tiling.ChunkID
+	bytes int64
+}
+
 // Put stores (or refreshes) a chunk of the given size, evicting LRU
-// entries as needed.
+// entries as needed. Eviction deliberately stops at one entry: a single
+// chunk larger than the whole budget stays cached (evicting it buys
+// nothing — the chunk is needed for playback and would only be rushed
+// again), and the over-budget gauge flags the condition instead.
 func (c *ChunkCache) Put(id tiling.ChunkID, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e, ok := c.byID[id]; ok {
 		ent := e.Value.(*chunkEntry)
 		c.used += bytes - ent.bytes
@@ -51,8 +103,10 @@ func (c *ChunkCache) Put(id tiling.ChunkID, bytes int64) {
 			c.evictOldest()
 		}
 	}
+	c.syncGauges()
 }
 
+// evictOldest drops the LRU entry; call with mu held.
 func (c *ChunkCache) evictOldest() {
 	e := c.lru.Back()
 	if e == nil {
@@ -63,32 +117,66 @@ func (c *ChunkCache) evictOldest() {
 	delete(c.byID, ent.id)
 	c.used -= ent.bytes
 	c.evictions++
+	c.met.evictions.Inc()
 }
 
 // Has reports whether the chunk is cached, refreshing its recency.
 func (c *ChunkCache) Has(id tiling.ChunkID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.byID[id]
 	if ok {
 		c.lru.MoveToFront(e)
+		c.met.hits.Inc()
+	} else {
+		c.met.misses.Inc()
 	}
 	return ok
 }
 
 // Remove drops a chunk (after it has been decoded, or superseded).
 func (c *ChunkCache) Remove(id tiling.ChunkID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e, ok := c.byID[id]; ok {
 		ent := e.Value.(*chunkEntry)
 		c.lru.Remove(e)
 		delete(c.byID, id)
 		c.used -= ent.bytes
+		c.syncGauges()
 	}
 }
 
 // Used returns the cached bytes; Len the entry count; Evictions the
 // number of budget evictions so far.
-func (c *ChunkCache) Used() int64    { return c.used }
-func (c *ChunkCache) Len() int       { return c.lru.Len() }
-func (c *ChunkCache) Evictions() int { return c.evictions }
+func (c *ChunkCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the entry count.
+func (c *ChunkCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Evictions returns the number of budget evictions so far.
+func (c *ChunkCache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// OverBudget reports whether the cache currently exceeds its byte
+// budget — true only in the keep-one case where a single entry is
+// larger than the entire budget.
+func (c *ChunkCache) OverBudget() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget > 0 && c.used > c.budget
+}
 
 // FrameCacheKey identifies a decoded tile for one time interval at one
 // quality.
@@ -102,13 +190,24 @@ type FrameCacheKey struct {
 // video memory (FBOs in the prototype). Its two payoffs, which E13
 // measures, are (a) decoders work asynchronously ahead of render and
 // (b) when HMP was wrong, the FoV shifts by decoding only the missing
-// "delta" tiles instead of the whole view.
+// "delta" tiles instead of the whole view. Safe for concurrent use:
+// the decode pool fills it while the render loop probes it.
 type FrameCache struct {
+	mu    sync.Mutex
 	slots int
 	lru   *list.List
 	byKey map[FrameCacheKey]*list.Element
 
 	hits, misses int
+	met          frameCacheMetrics
+}
+
+// frameCacheMetrics caches the instruments SetObs wires; nil fields
+// no-op.
+type frameCacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 // NewFrameCache creates a cache holding up to slots decoded tiles
@@ -125,8 +224,22 @@ func NewFrameCache(slots int) *FrameCache {
 	}
 }
 
+// SetObs wires the cache into a metrics registry (hit/miss/eviction
+// counters, player.frame_cache.*). Nil disables metrics.
+func (f *FrameCache) SetObs(r *obs.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.met = frameCacheMetrics{
+		hits:      r.Counter("player.frame_cache.hits"),
+		misses:    r.Counter("player.frame_cache.misses"),
+		evictions: r.Counter("player.frame_cache.evictions"),
+	}
+}
+
 // Put inserts a decoded tile, evicting the LRU tile if full.
 func (f *FrameCache) Put(k FrameCacheKey) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if e, ok := f.byKey[k]; ok {
 		f.lru.MoveToFront(e)
 		return
@@ -135,6 +248,7 @@ func (f *FrameCache) Put(k FrameCacheKey) {
 		e := f.lru.Back()
 		delete(f.byKey, e.Value.(FrameCacheKey))
 		f.lru.Remove(e)
+		f.met.evictions.Inc()
 	}
 	f.byKey[k] = f.lru.PushFront(k)
 }
@@ -142,21 +256,31 @@ func (f *FrameCache) Put(k FrameCacheKey) {
 // Has reports whether the tile is cached, counting a hit or miss and
 // refreshing recency on hit.
 func (f *FrameCache) Has(k FrameCacheKey) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	e, ok := f.byKey[k]
 	if ok {
 		f.lru.MoveToFront(e)
 		f.hits++
+		f.met.hits.Inc()
 		return true
 	}
 	f.misses++
+	f.met.misses.Inc()
 	return false
 }
 
 // Len returns the cached tile count.
-func (f *FrameCache) Len() int { return f.lru.Len() }
+func (f *FrameCache) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lru.Len()
+}
 
 // HitRate returns hits/(hits+misses), 0 before any lookup.
 func (f *FrameCache) HitRate() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	t := f.hits + f.misses
 	if t == 0 {
 		return 0

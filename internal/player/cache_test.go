@@ -1,10 +1,12 @@
 package player
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"sperke/internal/codec"
+	"sperke/internal/obs"
 	"sperke/internal/tiling"
 )
 
@@ -154,5 +156,110 @@ func TestShiftWithEmptyCacheRedecodesAll(t *testing.T) {
 	}
 	if res.Stall <= 3*cfg.Device.Decoder.SyncDecodeTime(cfg.TilePixels()) {
 		t.Fatal("full re-decode stall implausibly small")
+	}
+}
+
+// TestChunkCacheConcurrentAccess hammers Put/Has/Remove from many
+// goroutines: the fetch loop fills the cache while the decode scheduler
+// drains it. Run under -race; correctness here is "no data race and no
+// corrupted bookkeeping", not a specific final state.
+func TestChunkCacheConcurrentAccess(t *testing.T) {
+	c := NewChunkCache(50_000)
+	c.SetObs(obs.NewRegistry())
+	const workers = 8
+	const ops = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				id := cid(w%3, i%17, i%5)
+				switch i % 3 {
+				case 0:
+					c.Put(id, int64(100+i%900))
+				case 1:
+					c.Has(id)
+				case 2:
+					c.Remove(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Bookkeeping must still be internally consistent.
+	if c.Len() < 0 || c.Used() < 0 {
+		t.Fatalf("corrupted bookkeeping: Len=%d Used=%d", c.Len(), c.Used())
+	}
+	if c.Len() == 0 && c.Used() != 0 {
+		t.Fatalf("empty cache reports %d used bytes", c.Used())
+	}
+}
+
+// TestFrameCacheConcurrentAccess races the decode pool's Put against
+// the render loop's Has. Run under -race.
+func TestFrameCacheConcurrentAccess(t *testing.T) {
+	f := NewFrameCache(64)
+	f.SetObs(obs.NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := FrameCacheKey{Tile: tiling.TileID(i % 32), Interval: i % 7, Quality: w % 3}
+				if i%2 == 0 {
+					f.Put(k)
+				} else {
+					f.Has(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := f.Len(); n < 0 || n > 64 {
+		t.Fatalf("Len=%d outside [0, slots]", n)
+	}
+}
+
+// TestChunkCacheOverBudgetPinned pins down the keep-one eviction
+// semantics: a sole entry larger than the entire budget stays cached
+// (evicting it buys nothing), and the condition is surfaced through
+// OverBudget and the over-budget gauge rather than hidden.
+func TestChunkCacheOverBudgetPinned(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewChunkCache(100)
+	c.SetObs(reg)
+
+	c.Put(cid(0, 0, 0), 250) // oversized: exceeds the whole budget
+	if c.Len() != 1 || c.Used() != 250 {
+		t.Fatalf("oversized sole entry: Len=%d Used=%d, want 1/250", c.Len(), c.Used())
+	}
+	if !c.OverBudget() {
+		t.Fatal("OverBudget() false while used > budget")
+	}
+	snap := reg.Snapshot()
+	if g := snap.Gauges["player.chunk_cache.over_budget"]; g != 1 {
+		t.Fatalf("over_budget gauge = %d, want 1", g)
+	}
+	if g := snap.Gauges["player.chunk_cache.used_bytes"]; g != 250 {
+		t.Fatalf("used_bytes gauge = %d, want 250", g)
+	}
+
+	// A second entry gives the evictor something to drop: the oversized
+	// LRU entry goes, the new one stays, and the flag clears.
+	c.Put(cid(0, 1, 0), 50)
+	if c.Has(cid(0, 0, 0)) {
+		t.Fatal("oversized entry survived once eviction had a candidate")
+	}
+	if c.OverBudget() {
+		t.Fatal("OverBudget() stuck after recovery")
+	}
+	snap = reg.Snapshot()
+	if g := snap.Gauges["player.chunk_cache.over_budget"]; g != 0 {
+		t.Fatalf("over_budget gauge = %d after recovery, want 0", g)
+	}
+	if ev := snap.Counters["player.chunk_cache.evictions"]; ev != 1 {
+		t.Fatalf("evictions counter = %d, want 1", ev)
 	}
 }

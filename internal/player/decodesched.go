@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sperke/internal/codec"
+	"sperke/internal/obs"
 	"sperke/internal/sim"
 )
 
@@ -66,11 +67,30 @@ type DecodeScheduler struct {
 	outstanding int
 
 	decoded, missed int
+	met             decodeMetrics
+}
+
+// decodeMetrics caches the instruments SetObs wires; nil fields no-op.
+type decodeMetrics struct {
+	hits    *obs.Counter
+	misses  *obs.Counter
+	pending *obs.Gauge
 }
 
 // NewDecodeScheduler wires the scheduler to a pool and cache.
 func NewDecodeScheduler(clock *sim.Clock, pool *codec.Pool, cache *FrameCache) *DecodeScheduler {
 	return &DecodeScheduler{clock: clock, pool: pool, cache: cache}
+}
+
+// SetObs wires the scheduler into a metrics registry: decode-deadline
+// hit/miss counters and a pending-jobs gauge (player.decode.*). Nil
+// disables metrics.
+func (s *DecodeScheduler) SetObs(r *obs.Registry) {
+	s.met = decodeMetrics{
+		hits:    r.Counter("player.decode.deadline_hits"),
+		misses:  r.Counter("player.decode.deadline_misses"),
+		pending: r.Gauge("player.decode.pending"),
+	}
 }
 
 // Submit enqueues a decode job.
@@ -92,6 +112,9 @@ func (s *DecodeScheduler) pump() {
 			missed := s.clock.Now() > j.PlayAt
 			if missed {
 				s.missed++
+				s.met.misses.Inc()
+			} else {
+				s.met.hits.Inc()
 			}
 			if s.cache != nil {
 				s.cache.Put(j.Key)
@@ -102,6 +125,7 @@ func (s *DecodeScheduler) pump() {
 			s.pump()
 		})
 	}
+	s.met.pending.Set(int64(len(s.queue)))
 }
 
 // Pending returns queued (not yet decoding) jobs.

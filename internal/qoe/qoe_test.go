@@ -1,6 +1,7 @@
 package qoe
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -152,5 +153,39 @@ func TestPlayTilesVariance(t *testing.T) {
 	c.PlayTiles(-time.Second, []int{1}, 1)
 	if c.Metrics().PlayTime != 4*time.Second {
 		t.Fatal("degenerate PlayTiles recorded")
+	}
+}
+
+// TestZeroPlayTimeMeans is the regression guard for the divide-by-zero
+// family: a session that stalls out before rendering a single frame has
+// PlayTime == 0 but can still carry accumulated sums (e.g. variance or
+// quality recorded through a pathological collector path). Every
+// play-time-weighted mean must return 0, never NaN or ±Inf.
+func TestZeroPlayTimeMeans(t *testing.T) {
+	m := Metrics{
+		QualitySum:     12.5,
+		BitsPlayed:     4e6,
+		FoVVarianceSum: 3.25,
+		BlankTime:      time.Second,
+		Switches:       3,
+	}
+	if q := m.MeanQuality(); q != 0 {
+		t.Fatalf("MeanQuality with zero play time = %v, want 0", q)
+	}
+	if b := m.MeanBitrate(); b != 0 {
+		t.Fatalf("MeanBitrate with zero play time = %v, want 0", b)
+	}
+	if v := m.MeanFoVVariance(); v != 0 {
+		t.Fatalf("MeanFoVVariance with zero play time = %v, want 0", v)
+	}
+	// Negative play time (corrupt input) takes the same guard.
+	m.PlayTime = -time.Second
+	if m.MeanQuality() != 0 || m.MeanBitrate() != 0 || m.MeanFoVVariance() != 0 {
+		t.Fatal("negative play time leaked through a mean")
+	}
+	// The composite score must also stay finite and non-negative.
+	m.PlayTime = 0
+	if s := m.Score(5); math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+		t.Fatalf("Score with zero play time = %v", s)
 	}
 }

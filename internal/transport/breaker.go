@@ -1,6 +1,10 @@
 package transport
 
-import "time"
+import (
+	"time"
+
+	"sperke/internal/obs"
+)
 
 // BreakerState is the classic circuit-breaker state machine.
 type BreakerState int
@@ -25,6 +29,19 @@ func (s BreakerState) String() string {
 		return "open"
 	default:
 		return "half-open"
+	}
+}
+
+// metricName is the state's suffix in transition counter names
+// (half-open loses its dash so metric names stay word-shaped).
+func (s BreakerState) metricName() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half_open"
 	}
 }
 
@@ -70,6 +87,12 @@ type Breaker struct {
 	cfg   BreakerConfig
 	clock clockNow
 
+	// Obs, when set, counts state transitions
+	// (transport.breaker.to_{open,half_open,closed}) and mirrors the
+	// current state in the transport.breaker.state gauge. Set it before
+	// the breaker first trips.
+	Obs *obs.Registry
+
 	state       BreakerState
 	consecFails int
 	probeOK     int
@@ -89,6 +112,8 @@ func (b *Breaker) transition(to BreakerState) {
 	}
 	b.transitions = append(b.transitions, BreakerTransition{At: b.clock.Now(), From: b.state, To: to})
 	b.state = to
+	b.Obs.Counter("transport.breaker.to_" + to.metricName()).Inc()
+	b.Obs.Gauge("transport.breaker.state").Set(int64(to))
 }
 
 // State reports the current state, promoting Open to HalfOpen once the

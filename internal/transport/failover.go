@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sperke/internal/netem"
+	"sperke/internal/obs"
 	"sperke/internal/sim"
 )
 
@@ -47,6 +48,40 @@ type Failover struct {
 	active   []int
 	stats    []PathStats
 	wakeup   *sim.Event
+	met      failoverMetrics
+}
+
+// failoverMetrics caches the scheduler's instruments so hot-path
+// updates are a pointer call; all fields are nil (no-op) until SetObs.
+type failoverMetrics struct {
+	queueDepth *obs.Gauge
+	dispatched *obs.Counter
+	successes  *obs.Counter
+	failures   *obs.Counter
+	misses     *obs.Counter
+	rerouted   *obs.Counter
+	retries    *obs.Counter
+	expired    *obs.Counter
+}
+
+// SetObs wires the scheduler (and every path breaker) into a metrics
+// registry: queue depth gauge, dispatch/outcome counters, reroute and
+// expiry-shed counts, breaker transition counters. A nil registry
+// leaves everything a no-op.
+func (f *Failover) SetObs(r *obs.Registry) {
+	f.met = failoverMetrics{
+		queueDepth: r.Gauge("transport.failover.queue_depth"),
+		dispatched: r.Counter("transport.failover.dispatched"),
+		successes:  r.Counter("transport.failover.successes"),
+		failures:   r.Counter("transport.failover.failures"),
+		misses:     r.Counter("transport.failover.deadline_misses"),
+		rerouted:   r.Counter("transport.failover.rerouted"),
+		retries:    r.Counter("transport.failover.retries"),
+		expired:    r.Counter("transport.failover.expired"),
+	}
+	for _, b := range f.breakers {
+		b.Obs = r
+	}
 }
 
 // NewFailover builds the scheduler over the given paths, one breaker
@@ -117,7 +152,12 @@ func (f *Failover) Submit(r *Request) {
 	idx := f.route(r.Bytes)
 	f.queues[idx].Push(r)
 	f.pump(idx)
+	f.syncQueueGauge()
 }
+
+// syncQueueGauge mirrors the queued (not in-flight) request count into
+// the queue-depth gauge.
+func (f *Failover) syncQueueGauge() { f.met.queueDepth.Set(int64(f.Pending())) }
 
 // route picks the non-open path with the shortest estimated completion;
 // when every breaker is open it parks the request on the path that will
@@ -160,6 +200,7 @@ func (f *Failover) pump(i int) {
 		}
 		f.queues[i].Pop()
 		f.stats[i].Expired++
+		f.met.expired.Inc()
 		if r.OnDone != nil {
 			now := f.Clock.Now()
 			r.OnDone(netem.Delivery{Start: now, Service: now, Done: now, Bytes: r.Bytes, OK: false}, false)
@@ -184,6 +225,7 @@ func (f *Failover) pump(i int) {
 func (f *Failover) dispatch(i int, r *Request) {
 	f.active[i]++
 	f.stats[i].Dispatched++
+	f.met.dispatched.Inc()
 	qos := netem.Reliable
 	if r.Class == ClassOOS && !r.Urgent {
 		qos = netem.BestEffort
@@ -192,12 +234,14 @@ func (f *Failover) dispatch(i int, r *Request) {
 		f.active[i]--
 		f.onDelivery(i, r, d)
 		f.pump(i)
+		f.syncQueueGauge()
 	})
 }
 
 func (f *Failover) onDelivery(i int, r *Request, d netem.Delivery) {
 	if d.OK && d.Done <= r.Deadline {
 		f.stats[i].Successes++
+		f.met.successes.Inc()
 		f.breakers[i].OnSuccess()
 		if r.OnDone != nil {
 			r.OnDone(d, true)
@@ -210,16 +254,19 @@ func (f *Failover) onDelivery(i int, r *Request, d netem.Delivery) {
 	}
 	if !d.OK {
 		f.stats[i].Failures++
+		f.met.failures.Inc()
 		// A lost delivery is worth another try on a (possibly different)
 		// path while the deadline still stands.
 		if r.retries < f.maxRetries() && f.Clock.Now() < r.Deadline {
 			r.retries++
 			f.stats[i].Retries++
+			f.met.retries.Inc()
 			f.Submit(r)
 			return
 		}
 	} else {
 		f.stats[i].DeadlineMisses++
+		f.met.misses.Inc()
 	}
 	if r.OnDone != nil {
 		r.OnDone(d, false)
@@ -251,9 +298,11 @@ func (f *Failover) reroute(i int) {
 			break
 		}
 		f.stats[i].Rerouted++
+		f.met.rerouted.Inc()
 		f.queues[target].Push(r)
 	}
 	f.pump(target)
+	f.syncQueueGauge()
 }
 
 // armWakeup schedules a re-pump at the earliest breaker probe time so
