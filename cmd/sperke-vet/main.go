@@ -1,0 +1,113 @@
+// Command sperke-vet runs Sperke's domain-aware static-analysis suite
+// (package internal/vet) over the module tree:
+//
+//	go run ./cmd/sperke-vet ./...
+//	go run ./cmd/sperke-vet -checks clockhygiene,maporder ./internal/sim
+//	go run ./cmd/sperke-vet -list
+//
+// It exits 0 when clean, 1 when it finds violations (one
+// "path:line:col: [check] message" line per finding), and 2 on usage
+// or parse errors. Findings are suppressed in source with
+// //sperke:nolint(<check>) on or directly above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sperke/internal/vet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered checkers and exit")
+	checks := flag.String("checks", "", "comma-separated subset of checkers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: sperke-vet [-list] [-checks a,b] [packages]\n\npackages are module-relative paths; ./... (the default) means the whole module.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := vet.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := vet.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := vet.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	prefixes, err := targetPrefixes(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := vet.Run(pkgs, analyzers)
+	n := 0
+	for _, d := range diags {
+		if !matchesTarget(d.Pos.Filename, prefixes) {
+			continue
+		}
+		fmt.Println(d)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "sperke-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// targetPrefixes converts CLI package arguments into module-relative
+// path prefixes. Empty (or "./...") means everything.
+func targetPrefixes(root string, args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		a = strings.TrimSuffix(a, "...")
+		a = strings.TrimSuffix(a, "/")
+		if a == "." || a == "./" || a == "" {
+			return nil, nil // whole module
+		}
+		abs, err := filepath.Abs(a)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("sperke-vet: %s is outside the module", a)
+		}
+		out = append(out, filepath.ToSlash(rel))
+	}
+	return out, nil
+}
+
+// matchesTarget reports whether the module-relative file path falls
+// under any requested prefix (nil prefixes match everything).
+func matchesTarget(path string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if p == "." || path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sperke/internal/experiments"
+	"sperke/internal/obs"
+)
+
+// representative covers every layer the maporder checker polices:
+// E2 drives the live pipeline and platform sessions, E4 the telemetry
+// crowd path, E8/E9 the ABR planners, E11 tiling claims, E15 the player
+// caches. Together a rerun touches sim, core, abr, qoe and obs.
+var representative = []string{"E2", "E4", "E8", "E9", "E11", "E15"}
+
+// renderAll runs the experiments and renders both the text and CSV
+// forms into one byte stream.
+func renderAll(t *testing.T, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, id := range representative {
+		tbl, err := experiments.Run(id, seed)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		tbl.Render(&buf)
+		tbl.RenderCSV(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestRerunsAreByteIdentical is the maporder determinism regression:
+// the same seed must produce byte-identical rendered output on every
+// run. Any map-iteration-order leak into a table row (what the
+// maporder checker flags statically) shows up here as a diff.
+func TestRerunsAreByteIdentical(t *testing.T) {
+	first := renderAll(t, 7)
+	if again := renderAll(t, 7); !bytes.Equal(first, again) {
+		t.Fatalf("rerun diverged from first run (%d vs %d bytes) near:\n%s",
+			len(first), len(again), firstDiff(first, again))
+	}
+}
+
+// TestMetricsAreObservationOnly pins the PR 2 claim: wiring an obs
+// registry into the suite must not change a single output byte.
+func TestMetricsAreObservationOnly(t *testing.T) {
+	experiments.SetObs(nil)
+	plain := renderAll(t, 7)
+	experiments.SetObs(obs.NewRegistry())
+	t.Cleanup(func() { experiments.SetObs(nil) })
+	instrumented := renderAll(t, 7)
+	if !bytes.Equal(plain, instrumented) {
+		t.Fatalf("metrics changed experiment output near:\n%s", firstDiff(plain, instrumented))
+	}
+}
+
+// firstDiff renders a small window around the first diverging byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s []byte) string {
+		hi := i + 80
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return ""
+		}
+		return string(s[lo:hi])
+	}
+	return "a: …" + win(a) + "…\nb: …" + win(b) + "…"
+}

@@ -65,13 +65,23 @@ var (
 	ErrPayloadSize  = errors.New("rtmp: payload exceeds maximum")
 )
 
+// wallNow is the package's only wall-clock read. Handshake stamps and
+// the Server's default receive clock route through it, so deterministic
+// harnesses see exactly one seam (Server.Now overrides it per
+// instance).
+func wallNow() time.Time { return time.Now() }
+
+// handshakeMillis is the C1/S1 timestamp: a wall-clock nonce on real
+// deployments, but never a scheduling input.
+func handshakeMillis() uint64 { return uint64(wallNow().UnixMilli()) }
+
 // Handshake performs the client side of the version handshake: send
 // C0 (version) + C1 (8-byte timestamp + 8 random-ish bytes), expect
 // S0+S1 back.
 func Handshake(rw io.ReadWriter) error {
 	var c [17]byte
 	c[0] = Version
-	binary.BigEndian.PutUint64(c[1:], uint64(time.Now().UnixMilli()))
+	binary.BigEndian.PutUint64(c[1:], handshakeMillis())
 	if _, err := rw.Write(c[:]); err != nil {
 		return err
 	}
@@ -96,7 +106,7 @@ func AcceptHandshake(rw io.ReadWriter) error {
 	}
 	var s [17]byte
 	s[0] = Version
-	binary.BigEndian.PutUint64(s[1:], uint64(time.Now().UnixMilli()))
+	binary.BigEndian.PutUint64(s[1:], handshakeMillis())
 	_, err := rw.Write(s[:])
 	return err
 }

@@ -72,7 +72,10 @@ type Server struct {
 	OnPublish func(stream string)
 	// OnEOS, if set, is told when a stream ends.
 	OnEOS func(stream string)
-	Log   *slog.Logger
+	// Now stamps segment arrival times; deterministic harnesses inject
+	// a virtual clock here. Nil means wall time.
+	Now func() time.Time
+	Log *slog.Logger
 
 	mu sync.Mutex
 	ln net.Listener
@@ -110,6 +113,13 @@ func (s *Server) log() *slog.Logger {
 	return slog.Default()
 }
 
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return wallNow()
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	if err := AcceptHandshake(conn); err != nil {
@@ -142,7 +152,7 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			if s.OnSegment != nil {
-				s.OnSegment(stream, time.Now(), m.Timestamp, h, payload)
+				s.OnSegment(stream, s.now(), m.Timestamp, h, payload)
 			}
 		case TypeEOS:
 			if s.OnEOS != nil {

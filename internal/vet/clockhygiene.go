@@ -1,0 +1,116 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// clockSpans extends the deterministic packages with the two real-socket
+// substrates the roadmap routes through injected clocks: rtmp stamps
+// segment arrival times and handshake nonces, netem schedules token
+// buckets. Both own exactly one allowlisted wall seam.
+var clockSpans = append([]string{
+	"internal/rtmp",
+	"internal/netem",
+}, deterministicSpans...)
+
+// clockAllowlist names the functions that are the designated wall-clock
+// seams — the single place a package is allowed to read real time so
+// everything else can take an injected clock. Keys are "dir:Func" or
+// "dir:Type.Method" using module-relative directories.
+var clockAllowlist = map[string]bool{
+	// obs.Wall is the explicit wall adapter for real-socket pipelines;
+	// simulated pipelines pass *sim.Clock instead.
+	"internal/obs:NewWall":  true,
+	"internal/obs:Wall.Now": true,
+	// The shaper's constructor seeds its injectable nowFunc/sleep with
+	// wall defaults; tests override the fields.
+	"internal/netem:NewRateLimitedConn": true,
+	// rtmp's single wall seam; Server.Now and handshake stamps route
+	// through it.
+	"internal/rtmp:wallNow": true,
+}
+
+// clockForbidden are the time-package calls that read or block on the
+// wall clock.
+var clockForbidden = map[string]bool{
+	"Now":   true,
+	"Sleep": true,
+	"Since": true,
+	"Until": true,
+	"After": true,
+	"Tick":  true,
+}
+
+// randConstructors are the math/rand identifiers that are fine
+// anywhere: explicitly-seeded generator construction and the types
+// used to thread generators through APIs. Everything else on the
+// package (rand.Intn, rand.Float64, rand.Seed, ...) rides the global
+// process-wide generator and is forbidden.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// ClockHygiene forbids wall-clock reads (time.Now/Sleep/Since/Until/
+// After/Tick) and the globally-seeded math/rand API in deterministic
+// and injected-clock packages, outside the allowlisted seams. Every
+// component in those spans takes a clock (sim.Clock, a Now func field)
+// or an explicit *rand.Rand, so an experiment's output is a pure
+// function of its seed.
+var ClockHygiene = &Analyzer{
+	Name: "clockhygiene",
+	Doc:  "forbid wall-clock and global-rand use in deterministic packages outside allowlisted seams",
+	CheckFile: func(f *File) []Diagnostic {
+		if f.Test() || !inSpan(f.Path, clockSpans) {
+			return nil
+		}
+		timeName := importName(f.AST, "time")
+		randName := importName(f.AST, "math/rand")
+		if timeName == "" && randName == "" {
+			return nil
+		}
+		var out []Diagnostic
+		check := func(name string, root ast.Node) {
+			if clockAllowlist[f.Dir()+":"+name] {
+				return
+			}
+			// Inspect selector mentions rather than calls so wall funcs
+			// leaked as values (nowFunc: time.Now) are caught too.
+			ast.Inspect(root, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch {
+				case timeName != "" && id.Name == timeName && clockForbidden[sel.Sel.Name]:
+					out = append(out, f.diag("clockhygiene", sel.Pos(),
+						"%s.%s in deterministic package %s (func %s): inject a clock (sim.Clock or a Now func field) or allowlist the seam",
+						timeName, sel.Sel.Name, f.Dir(), name))
+				case randName != "" && id.Name == randName && !randConstructors[sel.Sel.Name] && ast.IsExported(sel.Sel.Name):
+					out = append(out, f.diag("clockhygiene", sel.Pos(),
+						"globally-seeded %s.%s in deterministic package %s (func %s): use rand.New(rand.NewSource(seed)) and thread the *rand.Rand through",
+						randName, sel.Sel.Name, f.Dir(), name))
+				}
+				return true
+			})
+		}
+		funcDecls(f, func(name string, fd *ast.FuncDecl) { check(name, fd) })
+		// Package-level var initializers can leak the wall clock too
+		// (var epoch = time.Now()).
+		for _, d := range f.AST.Decls {
+			if gd, ok := d.(*ast.GenDecl); ok {
+				check("package-level decl", gd)
+			}
+		}
+		return out
+	},
+}

@@ -1,0 +1,251 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load walks the module tree rooted at root (the directory holding
+// go.mod), parses every .go file, and groups the results by directory.
+// It skips .git, vendor, hidden directories, and testdata trees (which
+// hold this package's deliberately-violating fixtures).
+func Load(root string) ([]*Package, error) {
+	byDir := make(map[string]*Package)
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		f, err := ParseFile(p, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		dir := f.Dir()
+		pkg := byDir[dir]
+		if pkg == nil {
+			pkg = &Package{Dir: dir}
+			byDir[dir] = pkg
+		}
+		pkg.Files = append(pkg.Files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(byDir))
+	for _, p := range byDir {
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Path < p.Files[j].Path })
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+// ParseFile parses the file at osPath, recording positions under the
+// module-relative slash path modPath.
+func ParseFile(osPath, modPath string) (*File, error) {
+	src, err := os.ReadFile(osPath)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSource(src, modPath)
+}
+
+// ParseSource parses in-memory source under the given module-relative
+// path — the fixture harness uses it directly.
+func ParseSource(src []byte, modPath string) (*File, error) {
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, modPath, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("vet: parse %s: %w", modPath, err)
+	}
+	return &File{Path: modPath, Fset: fset, AST: af}, nil
+}
+
+// ModuleRoot walks upward from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("vet: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// suppressions indexes a package's //sperke:nolint comments. A nolint
+// comment suppresses matching diagnostics on its own line and on the
+// line directly below it (so it can trail the offending expression or
+// sit on its own line above it).
+type suppressions struct {
+	// byFile maps path -> line -> suppressed checker names; an entry
+	// containing "*" suppresses everything.
+	byFile map[string]map[int][]string
+}
+
+const nolintPrefix = "//sperke:nolint"
+
+func newSuppressions(p *Package) *suppressions {
+	s := &suppressions{byFile: make(map[string]map[int][]string)}
+	for _, f := range p.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, nolintPrefix)
+				if !ok {
+					continue
+				}
+				checks := []string{"*"}
+				if rest, ok := strings.CutPrefix(text, "("); ok {
+					if inner, _, ok := strings.Cut(rest, ")"); ok {
+						checks = strings.Split(inner, ",")
+						for i := range checks {
+							checks[i] = strings.TrimSpace(checks[i])
+						}
+					}
+				}
+				lines := s.byFile[f.Path]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byFile[f.Path] = lines
+				}
+				line := f.Fset.Position(c.Pos()).Line
+				lines[line] = append(lines[line], checks...)
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether d is suppressed.
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.byFile[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, c := range lines[line] {
+			if c == "*" || c == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- shared AST helpers for the checkers ----
+
+// importName returns the local identifier the file binds importPath to:
+// the declared alias, or the base name of the path when unaliased.
+// Blank and dot imports return "".
+func importName(f *ast.File, importPath string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return path.Base(p)
+	}
+	return ""
+}
+
+// pkgCall matches a call to <pkgIdent>.<fn> and returns fn's name.
+func pkgCall(call *ast.CallExpr, pkgIdent string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgIdent {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// inSpan reports whether the module-relative path (file or dir) lives
+// under one of the listed package spans.
+func inSpan(p string, spans []string) bool {
+	for _, s := range spans {
+		if p == s || strings.HasPrefix(p, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicSpans are the package trees whose outputs must be pure
+// functions of their inputs: experiment tables, QoE scores, ABR plans
+// and metrics snapshots are all compared byte-for-byte across runs.
+var deterministicSpans = []string{
+	"internal/sim",
+	"internal/experiments",
+	"internal/core",
+	"internal/qoe",
+	"internal/abr",
+	"internal/obs",
+}
+
+// funcDecls invokes fn for every function declaration in the file with
+// a stable display name: "Name" for functions, "Recv.Name" for methods.
+func funcDecls(f *File, fn func(name string, decl *ast.FuncDecl)) {
+	for _, d := range f.AST.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn(funcDisplayName(fd), fd)
+	}
+}
+
+// funcDisplayName renders "Name" or "Recv.Name".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		// Drop type parameters on generic receivers.
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return name
+}

@@ -1,0 +1,91 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// taxonomySpans are the delivery-path packages that carry a typed error
+// taxonomy (dash.Error kinds, rtmp/transport sentinels). Callers there
+// branch on errors.Is/As, so causes must stay inspectable.
+var taxonomySpans = []string{
+	"internal/dash",
+	"internal/transport",
+	"internal/rtmp",
+}
+
+// ErrTaxonomy enforces the delivery path's error discipline:
+//
+//   - fmt.Errorf that embeds an error value must wrap it with %w so
+//     errors.Is/As keep seeing the sentinel or *dash.Error underneath;
+//   - errors.New inside a function body is forbidden — ad-hoc opaque
+//     errors defeat the taxonomy. Package-level sentinel declarations
+//     (var ErrX = errors.New(...)) are the taxonomy and stay legal.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "require %w wrapping and typed sentinels (no in-function errors.New) in dash/transport/rtmp",
+	CheckPackage: func(p *Package) []Diagnostic {
+		if !inSpan(p.Dir, taxonomySpans) {
+			return nil
+		}
+		var out []Diagnostic
+		for _, f := range p.Files {
+			if f.Test() {
+				continue
+			}
+			fmtName := importName(f.AST, "fmt")
+			errorsName := importName(f.AST, "errors")
+			if fmtName == "" && errorsName == "" {
+				continue
+			}
+			funcDecls(f, func(name string, fd *ast.FuncDecl) {
+				ast.Inspect(fd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn, ok := pkgCall(call, errorsName); ok && errorsName != "" && fn == "New" {
+						out = append(out, f.diag("errtaxonomy", call.Pos(),
+							"in-function %s.New in %s (func %s): return a typed taxonomy error (sentinel var or *dash.Error) so callers can errors.Is/As",
+							errorsName, p.Dir, name))
+					}
+					if fn, ok := pkgCall(call, fmtName); ok && fmtName != "" && fn == "Errorf" {
+						if d, bad := errorfWithoutWrap(f, call, fmtName); bad {
+							out = append(out, d)
+						}
+					}
+					return true
+				})
+			})
+		}
+		return out
+	},
+}
+
+// errorfWithoutWrap flags fmt.Errorf calls that pass an error-like
+// argument but whose format string has no %w verb.
+func errorfWithoutWrap(f *File, call *ast.CallExpr, fmtName string) (Diagnostic, bool) {
+	if len(call.Args) < 2 {
+		return Diagnostic{}, false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return Diagnostic{}, false
+	}
+	for _, arg := range call.Args[1:] {
+		if name := exprName(arg); errorLikeName(name) {
+			return f.diag("errtaxonomy", arg.Pos(),
+				"%s.Errorf embeds %q without %%w: wrap the cause so the taxonomy stays inspectable",
+				fmtName, name), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// errorLikeName matches the idiomatic error variable spellings: err,
+// derr, copyErr, e.Err, lastError, ...
+func errorLikeName(name string) bool {
+	lower := strings.ToLower(name)
+	return lower == "err" || strings.HasSuffix(lower, "err") || strings.HasSuffix(lower, "error")
+}

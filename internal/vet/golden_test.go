@@ -1,0 +1,100 @@
+package vet
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// fixtureDirective assigns a fixture a fake module-relative path, since
+// every checker keys off package location. It must be the first line:
+//
+//	//sperke:fixture path=internal/sim/bad.go
+var fixtureDirective = regexp.MustCompile(`(?m)^//sperke:fixture path=(\S+)$`)
+
+// TestGoldenFixtures runs every analyzer over its testdata fixtures:
+// files named bad*.go must reproduce their .golden diagnostics exactly
+// (and at least one), files named clean*.go must come back empty. This
+// is the harness ISSUE 3 specifies: one true-positive and one clean
+// fixture per checker, position-accurate.
+func TestGoldenFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("checker %s has no fixture dir: %v", a.Name, err)
+			}
+			var sawBad, sawClean bool
+			for _, e := range entries {
+				if !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				base := strings.TrimSuffix(e.Name(), ".go")
+				got := runFixture(t, a, filepath.Join(dir, e.Name()))
+				goldenPath := filepath.Join(dir, base+".golden")
+				if *update {
+					if got == "" {
+						os.Remove(goldenPath)
+					} else if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := ""
+				if b, err := os.ReadFile(goldenPath); err == nil {
+					want = string(b)
+				}
+				if got != want {
+					t.Errorf("%s: diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", e.Name(), got, want)
+				}
+				switch {
+				case strings.HasPrefix(base, "bad"):
+					sawBad = true
+					if got == "" {
+						t.Errorf("%s: true-positive fixture produced no diagnostics", e.Name())
+					}
+				case strings.HasPrefix(base, "clean"):
+					sawClean = true
+					if got != "" {
+						t.Errorf("%s: clean fixture produced diagnostics:\n%s", e.Name(), got)
+					}
+				}
+			}
+			if !sawBad || !sawClean {
+				t.Errorf("checker %s needs both a bad*.go and a clean*.go fixture (bad=%v clean=%v)",
+					a.Name, sawBad, sawClean)
+			}
+		})
+	}
+}
+
+// runFixture parses one fixture under its directive path and returns
+// the analyzer's findings, one formatted diagnostic per line.
+func runFixture(t *testing.T, a *Analyzer, osPath string) string {
+	t.Helper()
+	src, err := os.ReadFile(osPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fixtureDirective.FindSubmatch(src)
+	if m == nil {
+		t.Fatalf("%s: missing //sperke:fixture path=... directive", osPath)
+	}
+	f, err := ParseSource(src, string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Dir: f.Dir(), Files: []*File{f}}
+	var sb strings.Builder
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// obsInstruments are the obs types that must be obtained from a
+// Registry (or its constructor), never built directly: struct literals
+// skip registration, so the instrument is invisible to /metrics
+// snapshots, and a literal Registry bypasses its map initialization.
+var obsInstruments = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Registry":  true,
+}
+
+// ObsDiscipline requires metrics instruments to flow through the
+// nil-safe registry API outside internal/obs: obs.Default() or
+// obs.NewRegistry() for registries, r.Counter(name)/r.Gauge(name)/
+// r.Histogram(name) for instruments. Composite literals and new() of
+// the instrument types are flagged. (Field mutation is already ruled
+// out by the compiler — the instrument fields are unexported.)
+var ObsDiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc:  "metrics instruments must come from registry methods, not struct literals, outside internal/obs",
+	CheckFile: func(f *File) []Diagnostic {
+		if f.Test() || inSpan(f.Path, []string{"internal/obs"}) {
+			return nil
+		}
+		obsName := importName(f.AST, "sperke/internal/obs")
+		if obsName == "" {
+			return nil
+		}
+		var out []Diagnostic
+		flag := func(pos ast.Node, typ string) {
+			out = append(out, f.diag("obsdiscipline", pos.Pos(),
+				"direct construction of %s.%s: obtain instruments via the nil-safe registry (%s.NewRegistry / Registry.%s(name))",
+				obsName, typ, obsName, typ))
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if sel, ok := n.Type.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == obsName && obsInstruments[sel.Sel.Name] {
+						flag(n, sel.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || id.Name != "new" || len(n.Args) != 1 {
+					return true
+				}
+				if sel, ok := n.Args[0].(*ast.SelectorExpr); ok {
+					if x, ok := sel.X.(*ast.Ident); ok && x.Name == obsName && obsInstruments[sel.Sel.Name] {
+						flag(n, sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+		return out
+	},
+}

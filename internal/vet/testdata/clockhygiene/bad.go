@@ -1,0 +1,27 @@
+//sperke:fixture path=internal/sim/bad.go
+
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick drifts with the host: the wall read and the global RNG draw
+// both make outputs differ between runs.
+func Tick() (time.Time, int) {
+	t := time.Now()
+	n := rand.Intn(10)
+	return t, n
+}
+
+// Wait blocks the simulation on real time.
+func Wait(d time.Duration) {
+	time.Sleep(d)
+}
+
+// Age leaks the wall clock through a value reference.
+func Age(epoch time.Time) func() time.Duration {
+	since := time.Since
+	return func() time.Duration { return since(epoch) }
+}

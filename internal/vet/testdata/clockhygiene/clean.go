@@ -1,0 +1,22 @@
+//sperke:fixture path=internal/sim/clean.go
+
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected time source.
+type Clock interface{ Now() time.Duration }
+
+// Draw threads an injected clock and an explicitly seeded generator.
+func Draw(c Clock, seed int64) (time.Duration, int) {
+	rng := rand.New(rand.NewSource(seed))
+	return c.Now(), rng.Intn(10)
+}
+
+// Epoch is a designated wall seam, waived explicitly.
+func Epoch() time.Time {
+	return time.Now() //sperke:nolint(clockhygiene) — designated wall seam
+}

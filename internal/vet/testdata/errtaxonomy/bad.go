@@ -1,0 +1,18 @@
+//sperke:fixture path=internal/dash/bad.go
+
+package dash
+
+import (
+	"errors"
+	"fmt"
+)
+
+// fetch hides its cause behind %v and mints an ad-hoc opaque error.
+func fetch(url string) error {
+	if err := ping(url); err != nil {
+		return fmt.Errorf("dash: GET %s failed: %v", url, err)
+	}
+	return errors.New("dash: not reachable")
+}
+
+func ping(string) error { return nil }

@@ -1,0 +1,21 @@
+//sperke:fixture path=internal/dash/clean.go
+
+package dash
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is part of the typed taxonomy: a package-level sentinel.
+var ErrStale = errors.New("dash: manifest stale")
+
+// fetch wraps the cause with %w so errors.Is/As keep working.
+func fetch(url string) error {
+	if err := ping(url); err != nil {
+		return fmt.Errorf("dash: GET %s: %w", url, err)
+	}
+	return ErrStale
+}
+
+func ping(string) error { return nil }

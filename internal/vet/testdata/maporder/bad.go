@@ -1,0 +1,28 @@
+//sperke:fixture path=internal/experiments/bad.go
+
+package experiments
+
+// tableRows leaks map iteration order into the rendered slice: two
+// runs of the same experiment produce differently-ordered tables.
+func tableRows(cells map[string]int) []string {
+	var out []string
+	for name := range cells {
+		out = append(out, name)
+	}
+	return out
+}
+
+// fromField leaks order out of a struct-held map.
+type table struct {
+	cells map[string]int
+}
+
+func (t *table) rows() []string {
+	var out []string
+	for name, v := range t.cells {
+		if v > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}

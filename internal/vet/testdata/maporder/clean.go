@@ -1,0 +1,24 @@
+//sperke:fixture path=internal/experiments/clean.go
+
+package experiments
+
+import "sort"
+
+// tableRows restores a stable order before the slice escapes.
+func tableRows(cells map[string]int) []string {
+	var out []string
+	for name := range cells {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// histogram writes keyed results; map-to-map transfer is order-free.
+func histogram(cells map[string]int) map[string]bool {
+	seen := make(map[string]bool, len(cells))
+	for name := range cells {
+		seen[name] = true
+	}
+	return seen
+}

@@ -1,0 +1,16 @@
+//sperke:fixture path=internal/player/bad.go
+
+package player
+
+import "sperke/internal/obs"
+
+// hits bypasses the registry: a literal instrument is invisible to
+// /metrics snapshots.
+var hits = &obs.Counter{}
+
+// record constructs a gauge directly instead of asking a registry.
+func record() {
+	g := new(obs.Gauge)
+	g.Set(1)
+	hits.Inc()
+}

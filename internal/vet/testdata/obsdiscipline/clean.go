@@ -1,0 +1,13 @@
+//sperke:fixture path=internal/player/clean.go
+
+package player
+
+import "sperke/internal/obs"
+
+// record flows through the nil-safe registry; a nil *Registry makes
+// every call a cheap no-op.
+func record(r *obs.Registry) {
+	r.Counter("player.hits").Inc()
+	r.Gauge("player.queue_depth").Set(1)
+	r.Histogram("player.decode_ms").Observe(4)
+}

@@ -1,0 +1,24 @@
+//sperke:fixture path=internal/sphere/bad.go
+
+package sphere
+
+import "math"
+
+// Orientation mirrors the degree-valued API type.
+type Orientation struct{ Yaw, Pitch, Roll float64 }
+
+// badDirection feeds degree-valued fields straight into radian trig.
+func badDirection(o Orientation) (x, y float64) {
+	return math.Sin(o.Yaw), math.Cos(o.Pitch)
+}
+
+// badAngle passes a Deg-suffixed identifier without converting.
+func badAngle(rollDeg float64) float64 {
+	return math.Tan(rollDeg)
+}
+
+// badFrom stores a radian inverse-trig result in a degree name.
+func badFrom(vx, vz float64) Orientation {
+	yaw := math.Atan2(vx, vz)
+	return Orientation{Yaw: yaw}
+}

@@ -1,0 +1,26 @@
+//sperke:fixture path=internal/sphere/clean.go
+
+package sphere
+
+import "math"
+
+// OrientationOK mirrors the degree-valued API type.
+type OrientationOK struct{ Yaw, Pitch, Roll float64 }
+
+// direction converts to radians before trig.
+func direction(o OrientationOK) (x, y float64) {
+	yaw := o.Yaw * math.Pi / 180
+	pitch := o.Pitch * math.Pi / 180
+	return math.Sin(yaw), math.Cos(pitch)
+}
+
+// inline keeps the conversion inside the trig argument.
+func inline(o OrientationOK) float64 {
+	return math.Sin(o.Yaw * math.Pi / 180)
+}
+
+// from converts the inverse-trig result back to degrees in the same
+// expression.
+func from(vx, vz float64) OrientationOK {
+	return OrientationOK{Yaw: math.Atan2(vx, vz) * 180 / math.Pi}
+}

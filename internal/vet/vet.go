@@ -1,0 +1,169 @@
+// Package vet is Sperke's domain-aware static-analysis framework: a
+// pure-stdlib (go/ast + go/parser, no go/packages) analyzer suite that
+// turns the repo's prose invariants into machine-checked CI gates.
+//
+// The invariants no generic linter knows about:
+//
+//   - experiments are pure functions of their seed — deterministic
+//     packages must not read the wall clock or the global math/rand
+//     state (checker clockhygiene) and must not let map iteration
+//     order leak into rendered output (checker maporder);
+//   - spherical geometry keeps degrees at API boundaries and radians
+//     inside math/trig calls (checker unitsafety);
+//   - the delivery path returns its typed error taxonomy, wrapping
+//     causes with %w (checker errtaxonomy);
+//   - metrics instruments flow through the nil-safe obs.Registry,
+//     never ad-hoc struct literals (checker obsdiscipline).
+//
+// Run the suite with `go run ./cmd/sperke-vet ./...`. Suppress a
+// finding with a trailing or preceding comment:
+//
+//	t := time.Now() //sperke:nolint(clockhygiene) — wall seam, see doc
+//
+// A bare `//sperke:nolint` suppresses every checker on that line. New
+// checkers implement CheckFile or CheckPackage and register themselves
+// in Analyzers; each ships true-positive and clean golden fixtures
+// under testdata/<name>/ (see golden_test.go).
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position. Pos.Filename
+// is the module-relative slash path of the offending file.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the diagnostic the way the CLI prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// File is one parsed source file plus the module-relative context the
+// domain checkers key off.
+type File struct {
+	// Path is module-relative and slash-separated, e.g.
+	// "internal/sim/sim.go".
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+}
+
+// Test reports whether the file is a _test.go file. Every shipped
+// checker skips tests: they may use wall clocks and ad-hoc errors
+// freely.
+func (f *File) Test() bool { return strings.HasSuffix(f.Path, "_test.go") }
+
+// Dir returns the file's module-relative directory.
+func (f *File) Dir() string { return path.Dir(f.Path) }
+
+// diag builds a Diagnostic for this file at pos.
+func (f *File) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
+	p := f.Fset.Position(pos)
+	p.Filename = f.Path
+	return Diagnostic{Check: check, Pos: p, Message: fmt.Sprintf(format, args...)}
+}
+
+// Package groups the parsed files of one directory.
+type Package struct {
+	// Dir is module-relative, e.g. "internal/dash".
+	Dir   string
+	Files []*File
+}
+
+// Analyzer is one domain check. Exactly one of CheckFile and
+// CheckPackage is set: CheckFile runs once per file, CheckPackage once
+// per directory with every sibling file in view (for checks that need
+// cross-file context such as struct field types or package-level
+// sentinels).
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description shown by `sperke-vet -list`.
+	Doc          string
+	CheckFile    func(*File) []Diagnostic
+	CheckPackage func(*Package) []Diagnostic
+}
+
+// Analyzers returns the full checker suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ClockHygiene,
+		UnitSafety,
+		ErrTaxonomy,
+		ObsDiscipline,
+		MapOrder,
+	}
+}
+
+// ByName resolves a subset of Analyzers from comma-separated names.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	all := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		all[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := all[n]
+		if !ok {
+			return nil, fmt.Errorf("vet: unknown checker %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, drops findings
+// suppressed by //sperke:nolint comments, and returns the rest sorted
+// by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		sup := newSuppressions(p)
+		for _, a := range analyzers {
+			var ds []Diagnostic
+			switch {
+			case a.CheckPackage != nil:
+				ds = a.CheckPackage(p)
+			case a.CheckFile != nil:
+				for _, f := range p.Files {
+					ds = append(ds, a.CheckFile(f)...)
+				}
+			}
+			for _, d := range ds {
+				if !sup.covers(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

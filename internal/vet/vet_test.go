@@ -1,0 +1,238 @@
+package vet
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, path, src string) *File {
+	t.Helper()
+	f, err := ParseSource([]byte(src), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func runOn(t *testing.T, a *Analyzer, files ...*File) []Diagnostic {
+	t.Helper()
+	pkg := &Package{Dir: files[0].Dir(), Files: files}
+	return Run([]*Package{pkg}, []*Analyzer{a})
+}
+
+func TestLoadWalksModuleAndSkipsTestdata(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make(map[string]bool)
+	total := 0
+	for _, p := range pkgs {
+		dirs[p.Dir] = true
+		total += len(p.Files)
+		for _, f := range p.Files {
+			if strings.Contains(f.Path, "testdata") {
+				t.Errorf("Load picked up fixture file %s", f.Path)
+			}
+		}
+	}
+	for _, want := range []string{"internal/vet", "internal/sim", "cmd/sperke-vet"} {
+		if !dirs[want] {
+			t.Errorf("Load missed package %s (have %d packages)", want, len(pkgs))
+		}
+	}
+	if total < 100 {
+		t.Errorf("Load found only %d files, expected the full module", total)
+	}
+}
+
+func TestWholeTreeIsClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range Run(pkgs, Analyzers()) {
+		msgs = append(msgs, d.String())
+	}
+	if len(msgs) > 0 {
+		t.Errorf("sperke-vet must stay clean on the tree; found:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+func TestNolintSuppression(t *testing.T) {
+	const src = `package sim
+
+import "time"
+
+func a() time.Time {
+	return time.Now() //sperke:nolint(clockhygiene) — seam
+}
+
+func b() time.Time {
+	//sperke:nolint(clockhygiene)
+	return time.Now()
+}
+
+func c() time.Time {
+	//sperke:nolint
+	return time.Now()
+}
+
+func d() time.Time {
+	//sperke:nolint(unitsafety)
+	return time.Now()
+}
+
+func e() time.Time {
+	return time.Now()
+}
+`
+	ds := runOn(t, ClockHygiene, parse(t, "internal/sim/x.go", src))
+	if len(ds) != 2 {
+		t.Fatalf("want 2 surviving findings (funcs d and e), got %d: %v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.Pos.Line != 21 && d.Pos.Line != 25 {
+			t.Errorf("unexpected surviving finding at line %d: %s", d.Pos.Line, d)
+		}
+	}
+}
+
+func TestClockHygieneScopesAndAllowlist(t *testing.T) {
+	const src = `package x
+
+import "time"
+
+func f() time.Time { return time.Now() }
+`
+	// Outside the deterministic spans: no findings.
+	if ds := runOn(t, ClockHygiene, parse(t, "internal/media/x.go", src)); len(ds) != 0 {
+		t.Errorf("non-deterministic package flagged: %v", ds)
+	}
+	// Inside: flagged.
+	if ds := runOn(t, ClockHygiene, parse(t, "internal/qoe/x.go", src)); len(ds) != 1 {
+		t.Errorf("deterministic package not flagged: %v", ds)
+	}
+	// Allowlisted seam (obs.NewWall).
+	const seam = `package obs
+
+import "time"
+
+func NewWall() time.Time { return time.Now() }
+`
+	if ds := runOn(t, ClockHygiene, parse(t, "internal/obs/x.go", seam)); len(ds) != 0 {
+		t.Errorf("allowlisted seam flagged: %v", ds)
+	}
+	// Test files are exempt everywhere.
+	if ds := runOn(t, ClockHygiene, parse(t, "internal/qoe/x_test.go", src)); len(ds) != 0 {
+		t.Errorf("test file flagged: %v", ds)
+	}
+}
+
+func TestClockHygieneRenamedImport(t *testing.T) {
+	const src = `package sim
+
+import stdtime "time"
+
+func f() stdtime.Time { return stdtime.Now() }
+`
+	if ds := runOn(t, ClockHygiene, parse(t, "internal/sim/x.go", src)); len(ds) != 1 {
+		t.Errorf("renamed time import not tracked: %v", ds)
+	}
+}
+
+func TestMapOrderSortEscapes(t *testing.T) {
+	const sorted = `package abr
+
+import "sort"
+
+func keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+`
+	if ds := runOn(t, MapOrder, parse(t, "internal/abr/x.go", sorted)); len(ds) != 0 {
+		t.Errorf("sorted-after loop flagged: %v", ds)
+	}
+	const sliceRange = `package abr
+
+func sum(xs []int) int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return len(out)
+}
+`
+	if ds := runOn(t, MapOrder, parse(t, "internal/abr/x.go", sliceRange)); len(ds) != 0 {
+		t.Errorf("slice range flagged as map: %v", ds)
+	}
+	// Slice-of-maps indexing resolves to a map.
+	const indexed = `package abr
+
+func all(states []map[int]bool) []int {
+	var out []int
+	for k := range states[0] {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	if ds := runOn(t, MapOrder, parse(t, "internal/abr/x.go", indexed)); len(ds) != 1 {
+		t.Errorf("slice-of-maps index not resolved: %v", ds)
+	}
+}
+
+func TestErrTaxonomyScope(t *testing.T) {
+	const src = `package x
+
+import "errors"
+
+func f() error { return errors.New("ad hoc") }
+`
+	if ds := runOn(t, ErrTaxonomy, parse(t, "internal/transport/x.go", src)); len(ds) != 1 {
+		t.Errorf("transport ad-hoc error not flagged: %v", ds)
+	}
+	// Outside the taxonomy spans the same code is fine.
+	if ds := runOn(t, ErrTaxonomy, parse(t, "internal/media/x.go", src)); len(ds) != 0 {
+		t.Errorf("non-taxonomy package flagged: %v", ds)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("clockhygiene, maporder")
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName subset: %v, %v", as, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown checker")
+	}
+	if as, err := ByName(""); err != nil || len(as) != len(Analyzers()) {
+		t.Fatalf("ByName default: %v, %v", as, err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Check:   "clockhygiene",
+		Pos:     token.Position{Filename: "internal/sim/sim.go", Line: 10, Column: 3},
+		Message: "boom",
+	}
+	if got, want := d.String(), "internal/sim/sim.go:10:3: [clockhygiene] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
