@@ -1,0 +1,102 @@
+package sperke_bench
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/media"
+	"sperke/internal/serve"
+	"sperke/internal/tiling"
+)
+
+func benchVideo() *media.Video {
+	return &media.Video{
+		ID:             "bench",
+		Duration:       20 * time.Second,
+		ChunkDuration:  2 * time.Second,
+		Grid:           tiling.GridPrototype,
+		ProjectionName: "equirectangular",
+		Ladder:         media.DefaultLadder,
+		Encoding:       media.EncodingAVC,
+	}
+}
+
+// BenchmarkChunkStore pins the sharded chunk store's cache win: "warm"
+// serves resident bodies, "cold" synthesizes every request (a 1-byte
+// budget makes everything uncacheable). The acceptance bar for PR 4 is
+// warm ≥ 5× faster than cold.
+func BenchmarkChunkStore(b *testing.B) {
+	v := benchVideo()
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(v); err != nil {
+		b.Fatal(err)
+	}
+	var keys []serve.ChunkKey
+	for idx := 0; idx < v.NumChunks(); idx++ {
+		for tile := 0; tile < v.Grid.Tiles(); tile++ {
+			keys = append(keys, serve.ChunkKey{Video: v.ID, Quality: 3, Tile: tile, Index: idx})
+		}
+	}
+	run := func(b *testing.B, st *serve.Store) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Get(ctx, keys[i%len(keys)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		st := serve.NewCatalogStore(catalog, serve.StoreConfig{Shards: 16, BudgetBytes: 1})
+		b.ResetTimer()
+		run(b, st)
+	})
+	b.Run("warm", func(b *testing.B) {
+		st := serve.NewCatalogStore(catalog, serve.StoreConfig{Shards: 16, BudgetBytes: 256 << 20})
+		ctx := context.Background()
+		for _, k := range keys {
+			if _, err := st.Get(ctx, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		run(b, st)
+	})
+}
+
+// BenchmarkConcurrentSessions pins the session engine's scaling: 32
+// simulated viewers at 1 worker vs 8. The acceptance bar is >2× wall
+// speedup at 8 workers — with byte-identical per-session QoE, which the
+// benchmark itself verifies against the first run's reports.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	v := benchVideo()
+	var baseline []serve.SessionResult
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := serve.NewEngine(serve.EngineConfig{
+					Video:    v,
+					Sessions: 32,
+					Workers:  workers,
+					BaseSeed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := eng.Run(context.Background())
+				if baseline == nil {
+					baseline = res.Sessions
+					continue
+				}
+				for j := range res.Sessions {
+					if !reflect.DeepEqual(res.Sessions[j].Report, baseline[j].Report) {
+						b.Fatalf("session %d QoE differs from the 1-worker baseline", j)
+					}
+				}
+			}
+		})
+	}
+}

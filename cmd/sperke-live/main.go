@@ -105,8 +105,7 @@ func run() error {
 	// Optional server-side chaos: a deterministic burst of 5xx responses
 	// and truncated bodies on the chunk route, which the viewer's
 	// resilient client must absorb.
-	dashSrv := dash.NewServer(catalog, log)
-	dashSrv.Obs = reg
+	dashSrv := dash.NewServer(catalog, dash.WithLogger(log), dash.WithObs(reg))
 	var handler http.Handler = dashSrv
 	var injector *faults.Injector
 	if *faultErrors > 0 || *faultTruncate > 0 {

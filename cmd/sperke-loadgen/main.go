@@ -1,0 +1,157 @@
+// Command sperke-loadgen drives K concurrent simulated viewers against
+// one tiled DASH origin, exercising the sharded chunk store under real
+// HTTP concurrency while each viewer's QoE stays seed-deterministic.
+// It prints aggregate QoE, the fetch-latency distribution and the chunk
+// store's hit/miss accounting — the E19 loadgen sweep.
+//
+// Usage:
+//
+//	sperke-loadgen                      # 8 viewers, in-process origin
+//	sperke-loadgen -sessions 32 -workers 8
+//	sperke-loadgen -url http://host:8360  # aim at an external origin
+//	sperke-loadgen -no-http             # pure simulation, no HTTP leg
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sperke/internal/core"
+	"sperke/internal/dash"
+	"sperke/internal/media"
+	"sperke/internal/obs"
+	"sperke/internal/serve"
+	"sperke/internal/tiling"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sessions := flag.Int("sessions", 8, "number of simulated viewers")
+	workers := flag.Int("workers", 0, "concurrent sessions (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 42, "base seed; viewer i uses seed+i")
+	mbps := flag.Float64("bandwidth", 25, "per-viewer emulated link in Mbit/s")
+	dur := flag.Duration("duration", 60*time.Second, "video duration")
+	chunk := flag.Duration("chunk", 2*time.Second, "chunk duration")
+	url := flag.String("url", "", "external origin URL (empty = in-process origin)")
+	noHTTP := flag.Bool("no-http", false, "skip the HTTP leg; pure simulation")
+	storeMB := flag.Int("store-budget-mb", 256, "in-process store byte budget in MiB")
+	storeShards := flag.Int("store-shards", 16, "in-process store shard count")
+	agnostic := flag.Bool("agnostic", false, "stream FoV-agnostic instead of FoV-guided")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	video := &media.Video{
+		ID:             "demo",
+		Duration:       *dur,
+		ChunkDuration:  *chunk,
+		Grid:           tiling.GridCellular,
+		ProjectionName: "equirectangular",
+		Ladder:         media.DefaultLadder,
+		Encoding:       media.EncodingAVC,
+	}
+	reg := obs.NewRegistry()
+
+	var client *dash.Client
+	var store *serve.Store
+	if !*noHTTP {
+		base := *url
+		if base == "" {
+			catalog := dash.NewCatalog()
+			if err := catalog.Add(video); err != nil {
+				return err
+			}
+			store = serve.NewCatalogStore(catalog, serve.StoreConfig{
+				Shards:      *storeShards,
+				BudgetBytes: int64(*storeMB) << 20,
+				Obs:         reg,
+			})
+			srv := dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(store))
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			httpSrv := &http.Server{Handler: srv}
+			go httpSrv.Serve(ln)
+			defer httpSrv.Close()
+			base = "http://" + ln.Addr().String()
+			fmt.Printf("in-process origin at %s (%d shards, %d MiB budget)\n",
+				base, store.Shards(), *storeMB)
+		}
+		client = dash.NewClient(base)
+		client.Obs = reg
+	}
+
+	mode := core.FoVGuided
+	if *agnostic {
+		mode = core.FoVAgnostic
+	}
+	eng, err := serve.NewEngine(serve.EngineConfig{
+		Video:        video,
+		Sessions:     *sessions,
+		Workers:      *workers,
+		BaseSeed:     *seed,
+		BandwidthBPS: *mbps * 1e6,
+		Mode:         mode,
+		Client:       client,
+		Obs:          reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("driving %d viewers (%d workers) over a %.0f Mbit/s emulated link each\n",
+		*sessions, effectiveWorkers(*workers, *sessions), *mbps)
+	res := eng.Run(ctx)
+
+	for _, sr := range res.Sessions {
+		if sr.Err != nil {
+			return sr.Err
+		}
+	}
+	a := res.Agg
+	fmt.Printf("\ncompleted %d sessions in %v wall\n", a.Sessions, res.Wall.Round(time.Millisecond))
+	fmt.Printf("  mean FoV quality %.2f   mean QoE score %.3f\n", a.MeanQuality, a.MeanScore)
+	fmt.Printf("  stalls %d (%v)   blank %v   urgent fetches %d\n",
+		a.Stalls, a.StallTime.Round(time.Millisecond), a.BlankTime.Round(time.Millisecond), a.UrgentFetches)
+	fmt.Printf("  fetched %.1f MB (%.1f MB wasted)\n",
+		float64(a.BytesFetched)/1e6, float64(a.BytesWasted)/1e6)
+	if res.HTTPFetches > 0 {
+		fl := res.FetchLatency
+		fmt.Printf("  HTTP: %d fetches, %d errors; latency ms p50=%.2f p95=%.2f p99=%.2f (window %d)\n",
+			res.HTTPFetches, res.HTTPErrors, fl.P50, fl.P95, fl.P99, fl.Window)
+	}
+	if store != nil {
+		hits := reg.Counter("serve.store.hits").Value()
+		misses := reg.Counter("serve.store.misses").Value()
+		shared := reg.Counter("serve.store.singleflight_shared").Value()
+		fmt.Printf("  store: %d hits, %d misses, %d singleflight-shared, %d evictions, %.1f MB cached\n",
+			hits, misses, shared, reg.Counter("serve.store.evictions").Value(),
+			float64(store.Bytes())/1e6)
+	}
+	return nil
+}
+
+func effectiveWorkers(w, sessions int) int {
+	if w <= 0 {
+		w = serve.DefaultWorkers()
+	}
+	if w > sessions {
+		w = sessions
+	}
+	return w
+}

@@ -28,6 +28,7 @@ import (
 	"sperke/internal/dash"
 	"sperke/internal/media"
 	"sperke/internal/obs"
+	"sperke/internal/serve"
 	"sperke/internal/tiling"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	rows := flag.Int("rows", 4, "tile grid rows")
 	cols := flag.Int("cols", 6, "tile grid columns")
 	enc := flag.String("encoding", "SVC", "encoding of the demo video: AVC or SVC")
+	storeMB := flag.Int("store-budget-mb", 256, "sharded chunk store byte budget in MiB")
+	storeShards := flag.Int("store-shards", 16, "chunk store shard count (rounded up to a power of two)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -84,8 +87,14 @@ func main() {
 	reg := obs.Default()
 	reg.PublishExpvar("sperke")
 
-	dashSrv := dash.NewServer(catalog, log)
-	dashSrv.Obs = reg
+	store := serve.NewCatalogStore(catalog, serve.StoreConfig{
+		Shards:      *storeShards,
+		BudgetBytes: int64(*storeMB) << 20,
+		Obs:         reg,
+	})
+	dashSrv := dash.NewServer(catalog,
+		dash.WithLogger(log), dash.WithObs(reg), dash.WithStore(store))
+	log.Info("chunk store", "shards", store.Shards(), "budget_mb", *storeMB)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/", dashSrv)

@@ -1,0 +1,113 @@
+// Scale-serving: the serving layer end to end. One DASH origin fronted
+// by the sharded chunk store serves a crowd of concurrent simulated
+// viewers driven by the worker-pool session engine; every viewer's QoE
+// is a pure function of its seed (run it twice — the per-viewer numbers
+// repeat exactly), while the store turns the crowd's overlapping
+// FoV-guided access pattern into cache hits.
+//
+//	go run ./examples/scale-serving
+//	go run ./examples/scale-serving -viewers 16 -workers 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/media"
+	"sperke/internal/obs"
+	"sperke/internal/serve"
+	"sperke/internal/tiling"
+)
+
+func main() {
+	viewers := flag.Int("viewers", 8, "concurrent simulated viewers")
+	workers := flag.Int("workers", 4, "worker-pool size")
+	seed := flag.Int64("seed", 360, "base seed; viewer i uses seed+i")
+	flag.Parse()
+	if err := run(*viewers, *workers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(viewers, workers int, seed int64) error {
+	video := &media.Video{
+		ID:             "stadium",
+		Duration:       30 * time.Second,
+		ChunkDuration:  2 * time.Second,
+		Grid:           tiling.GridCellular,
+		ProjectionName: "equirectangular",
+		Ladder:         media.DefaultLadder,
+		Encoding:       media.EncodingAVC,
+	}
+
+	// 1. One origin: catalog → sharded store → DASH server on loopback.
+	//    The store fronts chunk synthesis with lock-striped LRU shards
+	//    and singleflight miss de-duplication.
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(video); err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	store := serve.NewCatalogStore(catalog, serve.StoreConfig{
+		Shards:      8,
+		BudgetBytes: 128 << 20,
+		Obs:         reg,
+	})
+	srv := dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(store))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	fmt.Printf("origin: %d-shard store, %s\n", store.Shards(), ln.Addr())
+
+	// 2. A crowd: the engine runs each viewer as a full core.Session on
+	//    its own sim clock, mirroring every planned chunk fetch to the
+	//    origin over real HTTP. The HTTP leg feeds only metrics, so QoE
+	//    stays deterministic per seed no matter how many workers run.
+	client := dash.NewClient("http://" + ln.Addr().String())
+	eng, err := serve.NewEngine(serve.EngineConfig{
+		Video:    video,
+		Sessions: viewers,
+		Workers:  workers,
+		BaseSeed: seed,
+		Client:   client,
+		Obs:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	res := eng.Run(context.Background())
+
+	// 3. Per-viewer QoE (seed-deterministic) and the serving-side story.
+	fmt.Printf("\n%d viewers, %d workers, %v wall:\n", viewers, workers,
+		res.Wall.Round(time.Millisecond))
+	for _, sr := range res.Sessions {
+		if sr.Err != nil {
+			return sr.Err
+		}
+		m := sr.Report.QoE
+		fmt.Printf("  viewer %2d (seed %3d): quality %.2f  stalls %d  fetched %5.1f MB\n",
+			sr.Index, sr.Seed, m.MeanQuality(), m.Stalls,
+			float64(sr.Report.BytesFetched)/1e6)
+	}
+	fl := res.FetchLatency
+	fmt.Printf("\naggregate: quality %.2f, score %.1f\n", res.Agg.MeanQuality, res.Agg.MeanScore)
+	fmt.Printf("HTTP: %d fetches, %d errors, latency p50 %.2f ms / p95 %.2f / p99 %.2f\n",
+		res.HTTPFetches, res.HTTPErrors, fl.P50, fl.P95, fl.P99)
+	hits := reg.Counter("serve.store.hits").Value()
+	misses := reg.Counter("serve.store.misses").Value()
+	fmt.Printf("store: %d hits / %d misses (%.0f%% hit rate), %.1f MB resident\n",
+		hits, misses, 100*float64(hits)/float64(hits+misses),
+		float64(store.Bytes())/1e6)
+	return nil
+}

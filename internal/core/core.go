@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -206,13 +207,37 @@ type Session struct {
 	nextPlayWall time.Duration
 	started      bool
 	ran          bool
+	ctx          context.Context
 
 	rep Report
 }
 
+// SessionOption configures a Session at construction without growing
+// NewSession's positional parameter list — the hooks (metrics, event
+// observers) that used to be Config fields callers had to know about.
+type SessionOption func(*Config)
+
+// WithObs wires the session's player-side components and final report
+// into a metrics registry (equivalent to setting Config.Obs).
+func WithObs(r *obs.Registry) SessionOption {
+	return func(c *Config) { c.Obs = r }
+}
+
+// WithObserver attaches a structured-event observer (equivalent to
+// setting Config.Observer).
+func WithObserver(fn func(Event)) SessionOption {
+	return func(c *Config) { c.Observer = fn }
+}
+
 // NewSession builds a session. head is the viewer's actual head
 // movement; sched delivers chunk requests (single-path or multipath).
-func NewSession(clock *sim.Clock, cfg Config, head *trace.HeadTrace, sched transport.Scheduler) (*Session, error) {
+// Options apply on top of cfg, overriding the matching fields.
+func NewSession(clock *sim.Clock, cfg Config, head *trace.HeadTrace, sched transport.Scheduler, opts ...SessionOption) (*Session, error) {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
@@ -284,11 +309,20 @@ func (s *Session) submitDecode(i int, id tiling.TileID, q int, inFoV bool) {
 // Run plays the whole video and returns the report. It drives the
 // clock until the session completes. A session runs once; further
 // calls return the same report.
-func (s *Session) Run() Report {
+func (s *Session) Run() Report { return s.RunContext(context.Background()) }
+
+// RunContext is Run under a caller context: cancellation is observed at
+// the session's planning and playback ticks — the clock halts, pending
+// fetches are shed by context-aware schedulers, and the partial report
+// accumulated so far is returned. The context does not alter any
+// behaviour while it stays live, so RunContext(Background) is
+// byte-identical to Run.
+func (s *Session) RunContext(ctx context.Context) Report {
 	if s.ran {
 		return s.rep
 	}
 	s.ran = true
+	s.ctx = ctx
 	s.nextPlayWall = 0
 	s.schedulePlanner()
 	s.clock.Schedule(s.clock.Now(), func() { s.playInterval(0, s.clock.Now()) })
@@ -297,6 +331,13 @@ func (s *Session) Run() Report {
 	s.rep.QoE = s.col.Metrics()
 	s.publishReport()
 	return s.rep
+}
+
+// canceled reports whether the session's context is done; checked at
+// event boundaries on the sim thread (sim.Clock itself is not safe for
+// cross-goroutine Halt).
+func (s *Session) canceled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
 }
 
 // publishReport mirrors the finished session's report into the metrics
@@ -389,6 +430,10 @@ func (s *Session) schedulePlanner() {
 	const tick = 250 * time.Millisecond
 	var loop func()
 	loop = func() {
+		if s.canceled() {
+			s.clock.Halt()
+			return
+		}
 		if s.playIdx >= s.cfg.Video.NumChunks() {
 			return // session over
 		}
@@ -573,6 +618,17 @@ func (s *Session) pickEncoding(q int, id tiling.TileID, start time.Duration,
 	return enc
 }
 
+// submit hands a request to the transport scheduler under the
+// session's run context, so cancelling RunContext sheds queued fetches
+// on context-aware schedulers.
+func (s *Session) submit(r *transport.Request) {
+	if s.ctx != nil {
+		transport.SubmitContext(s.sched, s.ctx, r)
+		return
+	}
+	s.sched.Submit(r)
+}
+
 func (s *Session) submitFetch(i int, id tiling.TileID, q int, class transport.Class,
 	urgent bool, prob float64, deadline time.Duration) {
 	v := s.cfg.Video
@@ -592,7 +648,7 @@ func (s *Session) submitFetch(i int, id tiling.TileID, q int, class transport.Cl
 		s.rep.UrgentFetches++
 		s.emit(EventUrgent, i, id, q, bytes, 0)
 	}
-	s.sched.Submit(&transport.Request{
+	s.submit(&transport.Request{
 		Chunk:       tiling.ChunkID{Quality: q, Tile: id, Start: v.ChunkStart(i)},
 		Bytes:       bytes,
 		Deadline:    deadline,
@@ -706,7 +762,7 @@ func (s *Session) executeUpgrade(i int, id tiling.TileID, ts *tileState, target 
 	}
 	ts.pending = true
 	urgent := deadline-s.clock.Now() < v.ChunkDuration
-	s.sched.Submit(&transport.Request{
+	s.submit(&transport.Request{
 		Chunk:    tiling.ChunkID{Quality: target, Tile: id, Start: v.ChunkStart(i)},
 		Bytes:    bytes,
 		Deadline: deadline,
@@ -734,7 +790,7 @@ func (s *Session) executeUpgrade(i int, id tiling.TileID, ts *tileState, target 
 
 func (s *Session) playInterval(i int, stallSince time.Duration) {
 	v := s.cfg.Video
-	if i >= v.NumChunks() {
+	if s.canceled() || i >= v.NumChunks() {
 		s.clock.Halt()
 		return
 	}

@@ -2,6 +2,7 @@ package dash
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -83,6 +84,15 @@ func (c *Catalog) liveWindow(id string) ([2]int, bool) {
 	return w, ok
 }
 
+// ChunkSource serves pre-built chunk bodies. The sharded, singleflight
+// chunk store of internal/serve implements it; a Server with a source
+// configured (WithStore) serves bodies from it instead of
+// re-synthesizing every request. Implementations must return the exact
+// bytes BuildChunkBody would produce for the same address.
+type ChunkSource interface {
+	Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error)
+}
+
 // Server serves manifests and segments over HTTP:
 //
 //	GET /v/{video}/manifest.mpd
@@ -98,10 +108,38 @@ type Server struct {
 	// response bytes, error counts and a per-request latency histogram
 	// (dash.server.*). Nil disables metrics.
 	Obs *obs.Registry
+	// Store, when set before the first request, serves chunk bodies from
+	// a cache instead of re-synthesizing them per request. Nil keeps the
+	// original synthesize-per-request behaviour.
+	Store ChunkSource
 
 	mux  *http.ServeMux
 	once sync.Once
 	met  serverMetrics
+}
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithLogger sets the server's logger; nil is ignored.
+func WithLogger(log *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if log != nil {
+			s.Log = log
+		}
+	}
+}
+
+// WithObs wires the server's request metrics into a registry.
+func WithObs(r *obs.Registry) ServerOption {
+	return func(s *Server) { s.Obs = r }
+}
+
+// WithStore serves chunk bodies through a ChunkSource — typically the
+// sharded cache of internal/serve — instead of synthesizing per
+// request.
+func WithStore(src ChunkSource) ServerOption {
+	return func(s *Server) { s.Store = src }
 }
 
 // serverMetrics caches the server's instruments; nil fields no-op.
@@ -133,12 +171,17 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// NewServer builds a server over a catalog.
-func NewServer(catalog *Catalog, log *slog.Logger) *Server {
-	if log == nil {
-		log = slog.Default()
+// NewServer builds a server over a catalog. Options (WithLogger,
+// WithObs, WithStore) configure the optional hooks; nil options are
+// ignored so legacy NewServer(catalog, nil) call sites keep compiling.
+func NewServer(catalog *Catalog, opts ...ServerOption) *Server {
+	s := &Server{Catalog: catalog, Log: slog.Default()}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
 	}
-	return &Server{Catalog: catalog, Log: log}
+	return s
 }
 
 func (s *Server) init() {
@@ -229,14 +272,58 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dash: chunk outside live window", http.StatusNotFound)
 		return
 	}
+	isLayer := r.URL.Query().Get("layer") == "1"
+	if isLayer && v.Encoding != media.EncodingSVC {
+		http.Error(w, "dash: video is not SVC encoded", http.StatusBadRequest)
+		return
+	}
+	start := v.ChunkStart(idx)
+	var size int64
+	if isLayer {
+		size = v.LayerBytes(q, tiling.TileID(tile), start)
+	} else {
+		size = v.ChunkBytes(q, tiling.TileID(tile), start)
+	}
+	if size <= 0 {
+		http.Error(w, "dash: empty chunk", http.StatusNotFound)
+		return
+	}
+	var body []byte
+	var err error
+	if s.Store != nil {
+		body, err = s.Store.Chunk(r.Context(), v.ID, q, tile, idx, isLayer)
+	} else {
+		body, err = BuildChunkBody(v, q, tile, idx, isLayer)
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away while we waited on the store; there is
+			// nobody left to answer.
+			s.Log.Debug("dash: chunk request canceled", "video", v.ID, "err", err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if _, err := w.Write(body); err != nil {
+		s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
+	}
+}
+
+// BuildChunkBody synthesizes the wire body of one chunk — the segment
+// container holding a deterministic payload sized by the video's rate
+// model. This is the single synthesis routine both the per-request path
+// and the sharded store (internal/serve) share, so cached and fresh
+// bodies are byte-identical.
+func BuildChunkBody(v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
 	start := v.ChunkStart(idx)
 	var size int64
 	var flags uint8
-	isLayer := r.URL.Query().Get("layer") == "1"
-	if isLayer {
+	if layer {
 		if v.Encoding != media.EncodingSVC {
-			http.Error(w, "dash: video is not SVC encoded", http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("dash: video %q is not SVC encoded", v.ID)
 		}
 		size = v.LayerBytes(q, tiling.TileID(tile), start)
 		flags |= media.FlagSVCLayer
@@ -244,8 +331,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		size = v.ChunkBytes(q, tiling.TileID(tile), start)
 	}
 	if size <= 0 {
-		http.Error(w, "dash: empty chunk", http.StatusNotFound)
-		return
+		return nil, fmt.Errorf("dash: empty chunk %s/%d/%d/%d", v.ID, q, tile, idx)
 	}
 	h := media.SegmentHeader{
 		VideoID:  v.ID,
@@ -260,14 +346,9 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	buf.Grow(media.SegmentLen(v.ID, len(payload)))
 	if err := media.WriteSegment(&buf, h, payload); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return nil, fmt.Errorf("dash: building chunk body: %w", err)
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
-	}
+	return buf.Bytes(), nil
 }
 
 // chunkPath renders the URL path of a chunk.

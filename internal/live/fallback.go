@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"sperke/internal/hmp"
-	"sperke/internal/media"
 	"sperke/internal/sphere"
 )
 
@@ -168,32 +167,15 @@ type FallbackRun struct {
 
 // MeasureE2EWithFallback runs the live pipeline with the broadcaster
 // applying an upload adaptation mode whenever the configured uplink
-// cannot carry the source rate. Spatial fall-back shrinks each piece to
-// the horizon's share of the panorama; quality reduction shrinks it to
-// the uplink's share at full horizon; fixed keeps today's
-// drop-frames-when-behind behaviour (§3.4.2).
+// cannot carry the source rate (§3.4.2).
+//
+// Deprecated: use Measure with Opts{Cond, Fallback}.
 func MeasureE2EWithFallback(seed int64, p Platform, cond Condition,
 	broadcastDur time.Duration, mode UploadMode, plan HorizonPlan) FallbackRun {
-	frac := 1.0
-	if cond.Up > 0 && cond.Up < float64(p.IngestBitrate) {
-		switch mode {
-		case UploadSpatialFallback:
-			frac = plan.Fraction()
-		case UploadQualityReduce:
-			frac = cond.Up / float64(p.IngestBitrate) * 0.95
-		}
-	}
-	if frac > 1 {
-		frac = 1
-	}
-	adjusted := p
-	adjusted.IngestBitrate = media.Bitrate(float64(p.IngestBitrate) * frac)
-	if adjusted.IngestBitrate < 1 {
-		adjusted.IngestBitrate = 1
-	}
-	// Push platforms relay the (reduced) source; pull platforms'
-	// re-encode ladder caps at the uploaded rate implicitly via the
-	// viewer's adaptation.
-	res := MeasureE2E(seed, adjusted, cond, broadcastDur)
-	return FallbackRun{Result: res, UploadedFraction: frac}
+	m := Measure(seed, p, Opts{
+		Duration: broadcastDur,
+		Cond:     cond,
+		Fallback: &FallbackOpts{Mode: mode, Plan: plan},
+	})
+	return FallbackRun{Result: m.Result, UploadedFraction: m.UploadedFraction}
 }

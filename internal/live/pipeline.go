@@ -428,70 +428,32 @@ func runBroadcast(clock *sim.Clock, p Platform, upTrace *netem.BandwidthTrace,
 
 // MeasureE2E simulates one broadcast of the given duration on a
 // platform under a network condition and returns the latency
-// statistics of Table 2. The simulation runs the full pipeline:
+// statistics of Table 2.
 //
-//	camera → encoder → upload queue (drop beyond the app's cap) →
-//	ingest → server re-encode → segment packaging → MPD poll or push →
-//	download (with DASH adaptation where the platform offers it) →
-//	viewer prebuffer → display
+// Deprecated: use Measure with Opts{Duration, Cond}; this wrapper
+// remains for existing experiment call sites.
 func MeasureE2E(seed int64, p Platform, cond Condition, broadcastDur time.Duration) Result {
-	clock := sim.NewClock(seed)
-	const propagation = 20 * time.Millisecond
-	var upTrace, downTrace *netem.BandwidthTrace
-	if cond.Up > 0 {
-		upTrace = netem.Constant(cond.Up)
-	}
-	if cond.Down > 0 {
-		downTrace = netem.Constant(cond.Down)
-	}
-	v := newViewerSim(clock, p, downTrace, propagation, broadcastDur)
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, nil, nil, nil)
-	res := v.finish()
-	res.SkippedSegments = skips
-	return res
+	return Measure(seed, p, Opts{Duration: broadcastDur, Cond: cond}).Result
 }
 
 // MeasureE2EResilient simulates one broadcast with the breaker-driven
-// spatial fallback active: upload-piece timeouts trip the uplink
-// breaker, degraded pieces carry only the fallback horizon's share of
-// the panorama, and recovery re-closes the breaker and restores the
-// full 360°. Traces are passed directly (rather than a Condition) so
-// chaos harnesses can pre-carve fault windows into them, and
-// cfg.ArmFaults can attach a fault plan to the upload path itself.
+// spatial fallback active. Traces are passed directly (rather than a
+// Condition) so chaos harnesses can pre-carve fault windows into them,
+// and cfg.ArmFaults can attach a fault plan to the upload path itself.
+//
+// Deprecated: use Measure with Opts{UpTrace, DownTrace, Degrade}.
 func MeasureE2EResilient(seed int64, p Platform, upTrace, downTrace *netem.BandwidthTrace,
 	broadcastDur time.Duration, cfg DegradeConfig) ResilientRun {
-	clock := sim.NewClock(seed)
-	const propagation = 20 * time.Millisecond
-	const pieceDur = 250 * time.Millisecond
-	deadline := cfg.PieceDeadline
-	if deadline <= 0 {
-		deadline = 2 * pieceDur
-	}
-	plan := cfg.Plan
-	if plan.SpanDeg <= 0 {
-		plan.SpanDeg = 180
-	}
-	tracer := obs.NewTracer(cfg.Obs, clock)
-	deg := &degrader{
-		clock:    clock,
-		br:       transport.NewBreaker(clock, cfg.Breaker),
-		plan:     plan,
-		deadline: deadline,
-		obsReg:   cfg.Obs,
-		tracer:   tracer,
-	}
-	deg.br.Obs = cfg.Obs
-	v := newViewerSim(clock, p, downTrace, propagation, broadcastDur)
-	v.obsReg = cfg.Obs
-	v.tracer = tracer
-	skips := runBroadcast(clock, p, upTrace, propagation, broadcastDur, []*viewerSim{v}, deg, tracer, cfg.ArmFaults)
-	res := v.finish()
-	res.SkippedSegments = skips
+	m := Measure(seed, p, Opts{
+		Duration: broadcastDur,
+		UpTrace:  upTrace, DownTrace: downTrace,
+		Degrade: &cfg,
+	})
 	return ResilientRun{
-		Result:         res,
-		DegradedPieces: deg.degradedPieces,
-		TotalPieces:    deg.totalPieces,
-		Transitions:    deg.br.Transitions(),
+		Result:         m.Result,
+		DegradedPieces: m.DegradedPieces,
+		TotalPieces:    m.TotalPieces,
+		Transitions:    m.Transitions,
 	}
 }
 

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"sperke/internal/dash"
+)
+
+// NewCatalogStore builds a Store whose miss path synthesizes chunk
+// bodies from a dash catalog with dash.BuildChunkBody — the exact bytes
+// the per-request path would produce. Wire it under a server with
+// dash.WithStore:
+//
+//	store := serve.NewCatalogStore(catalog, serve.StoreConfig{BudgetBytes: 256 << 20})
+//	srv := dash.NewServer(catalog, dash.WithStore(store))
+func NewCatalogStore(cat *dash.Catalog, cfg StoreConfig) *Store {
+	return NewStore(func(key ChunkKey) ([]byte, error) {
+		v, ok := cat.Get(key.Video)
+		if !ok {
+			return nil, fmt.Errorf("serve: video %q not in catalog", key.Video)
+		}
+		return dash.BuildChunkBody(v, key.Quality, key.Tile, key.Index, key.Layer)
+	}, cfg)
+}
+
+// Chunk implements dash.ChunkSource over the sharded cache.
+func (s *Store) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	return s.Get(ctx, ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer})
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"sperke/internal/abr"
+	"sperke/internal/core"
+	"sperke/internal/dash"
+	"sperke/internal/media"
+	"sperke/internal/netem"
+	"sperke/internal/obs"
+	"sperke/internal/sim"
+	"sperke/internal/trace"
+	"sperke/internal/transport"
+)
+
+// EngineConfig sizes a concurrent-viewer run. The zero value is not
+// usable: Video is required.
+type EngineConfig struct {
+	// Video every simulated viewer streams.
+	Video *media.Video
+	// Sessions is the number of simulated viewers (default 1).
+	Sessions int
+	// Workers bounds how many sessions run concurrently (default
+	// GOMAXPROCS, capped at Sessions). Per-session results are a pure
+	// function of the seed, so the worker count changes only wall-clock
+	// time, never the reported QoE.
+	Workers int
+	// BaseSeed seeds viewer i with BaseSeed+i, so every session draws
+	// from its own deterministic stream.
+	BaseSeed int64
+	// BandwidthBPS is each viewer's emulated access link (default
+	// 25 Mbit/s); Propagation its one-way delay (default 20ms).
+	BandwidthBPS float64
+	Propagation  time.Duration
+	// Mode, OOS, EnableUpgrades and SpeedScale shape the sessions the
+	// same way the experiment harness does (SpeedScale defaults to 1).
+	Mode           core.StreamMode
+	OOS            abr.OOSPolicy
+	EnableUpgrades bool
+	SpeedScale     float64
+	// Client, when set, exercises a real DASH origin: every chunk the
+	// simulated planner fetches is also downloaded over HTTP (hitting
+	// the server's chunk store) and its wall latency recorded. The HTTP
+	// leg is observation-only — delivery timing that drives QoE still
+	// comes from the emulated path, so results stay deterministic.
+	Client *dash.Client
+	// Obs receives the engine's instruments (fetch latency histogram,
+	// session/error counters) and is threaded into every session. Nil
+	// means a private registry.
+	Obs *obs.Registry
+}
+
+// SessionResult is one viewer's outcome, in launch order.
+type SessionResult struct {
+	Index int
+	Seed  int64
+	// Err is non-nil when the session could not be constructed; Report
+	// is zero then.
+	Err    error
+	Report core.Report
+}
+
+// Aggregate summarizes QoE across completed sessions.
+type Aggregate struct {
+	Sessions int
+	// MeanQuality and MeanScore average the per-session mean FoV
+	// quality and QoE score.
+	MeanQuality float64
+	MeanScore   float64
+	// Stalls, StallTime and BlankTime sum across sessions.
+	Stalls    int
+	StallTime time.Duration
+	BlankTime time.Duration
+	// BytesFetched and BytesWasted sum wire usage across sessions.
+	BytesFetched  int64
+	BytesWasted   int64
+	UrgentFetches int
+}
+
+// EngineResult is one Run's outcome.
+type EngineResult struct {
+	// Sessions holds per-viewer results indexed by launch order.
+	Sessions []SessionResult
+	Agg      Aggregate
+	// FetchLatency summarizes HTTP chunk fetch wall latency in
+	// milliseconds (zero when no Client was configured).
+	FetchLatency obs.HistogramStat
+	// HTTPFetches and HTTPErrors count the HTTP leg's outcomes.
+	HTTPFetches int64
+	HTTPErrors  int64
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+}
+
+// engineMetrics caches the engine's instruments.
+type engineMetrics struct {
+	fetchMS  *obs.Histogram
+	fetches  *obs.Counter
+	errors   *obs.Counter
+	sessions *obs.Counter
+}
+
+// Engine runs K simulated viewers over a worker pool. Each viewer is a
+// full core.Session on its own sim clock and emulated path; sessions
+// share nothing but the (thread-safe) obs registry and, optionally, one
+// DASH origin exercised over HTTP. Because every per-session input is
+// derived from BaseSeed+i, a run's per-session reports are byte-stable
+// across worker counts — concurrency buys wall-clock time only.
+type Engine struct {
+	cfg EngineConfig
+	reg *obs.Registry
+	met engineMetrics
+}
+
+// NewEngine validates the config and applies defaults.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Video == nil {
+		return nil, fmt.Errorf("serve: engine config: %w", errNilVideo)
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Sessions {
+		cfg.Workers = cfg.Sessions
+	}
+	if cfg.BandwidthBPS <= 0 {
+		cfg.BandwidthBPS = 25e6
+	}
+	if cfg.Propagation <= 0 {
+		cfg.Propagation = 20 * time.Millisecond
+	}
+	if cfg.SpeedScale <= 0 {
+		cfg.SpeedScale = 1
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Engine{
+		cfg: cfg,
+		reg: reg,
+		met: engineMetrics{
+			fetchMS:  reg.Histogram("serve.engine.fetch_ms"),
+			fetches:  reg.Counter("serve.engine.http_fetches"),
+			errors:   reg.Counter("serve.engine.http_errors"),
+			sessions: reg.Counter("serve.engine.sessions"),
+		},
+	}, nil
+}
+
+var errNilVideo = fmt.Errorf("nil video")
+
+// DefaultWorkers is the worker-pool size used when EngineConfig.Workers
+// is zero.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run drives all sessions to completion (or ctx cancellation — each
+// session observes ctx at its planning and playback ticks and returns a
+// partial report) and aggregates the outcome.
+func (e *Engine) Run(ctx context.Context) EngineResult {
+	wall := obs.NewWall()
+	results := make([]SessionResult, e.cfg.Sessions)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = e.runOne(ctx, i)
+				e.met.sessions.Inc()
+			}
+		}()
+	}
+	for i := 0; i < e.cfg.Sessions; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	res := EngineResult{Sessions: results, Wall: wall.Now()}
+	maxQ := e.cfg.Video.Qualities() - 1
+	for _, sr := range results {
+		if sr.Err != nil {
+			continue
+		}
+		m := sr.Report.QoE
+		res.Agg.Sessions++
+		res.Agg.MeanQuality += m.MeanQuality()
+		res.Agg.MeanScore += m.Score(maxQ)
+		res.Agg.Stalls += m.Stalls
+		res.Agg.StallTime += m.StallTime
+		res.Agg.BlankTime += m.BlankTime
+		res.Agg.BytesFetched += sr.Report.BytesFetched
+		res.Agg.BytesWasted += sr.Report.BytesWasted
+		res.Agg.UrgentFetches += sr.Report.UrgentFetches
+	}
+	if n := float64(res.Agg.Sessions); n > 0 {
+		res.Agg.MeanQuality /= n
+		res.Agg.MeanScore /= n
+	}
+	res.FetchLatency = e.met.fetchMS.Stat()
+	res.HTTPFetches = e.met.fetches.Value()
+	res.HTTPErrors = e.met.errors.Value()
+	return res
+}
+
+// runOne builds and runs viewer i exactly the way the experiment
+// harness builds single sessions, so engine QoE is comparable with
+// experiment tables at the same seed.
+func (e *Engine) runOne(ctx context.Context, i int) SessionResult {
+	seed := e.cfg.BaseSeed + int64(i)
+	v := e.cfg.Video
+	clock := sim.NewClock(seed)
+	path := netem.NewPath(clock, "net", netem.Constant(e.cfg.BandwidthBPS), e.cfg.Propagation, 0)
+	var sched transport.Scheduler = transport.NewSinglePath(clock, path)
+	if e.cfg.Client != nil {
+		sched = &httpMirror{
+			inner:  sched,
+			client: e.cfg.Client,
+			video:  v,
+			met:    &e.met,
+			wall:   obs.NewWall(),
+		}
+	}
+	dur := v.Duration + 10*time.Second
+	rng := rand.New(rand.NewSource(seed))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(seed+60)), dur)
+	head := trace.Generate(rng, trace.UserProfile{
+		ID:         fmt.Sprintf("viewer-%d", i),
+		SpeedScale: e.cfg.SpeedScale,
+	}, att, dur)
+	s, err := core.NewSession(clock, core.Config{
+		Video:          v,
+		Mode:           e.cfg.Mode,
+		OOS:            e.cfg.OOS,
+		EnableUpgrades: e.cfg.EnableUpgrades,
+	}, head, sched, core.WithObs(e.reg))
+	if err != nil {
+		return SessionResult{Index: i, Seed: seed, Err: fmt.Errorf("serve: session %d: %w", i, err)}
+	}
+	return SessionResult{Index: i, Seed: seed, Report: s.RunContext(ctx)}
+}
+
+// httpMirror wraps a sim scheduler so every submitted chunk is also
+// fetched from a real DASH origin over HTTP. The mirror fetch happens
+// before the sim submission and its outcome feeds only metrics; QoE
+// timing stays with the emulated path, which keeps the run
+// deterministic while still exercising the server's chunk store under
+// genuine concurrency.
+type httpMirror struct {
+	inner  transport.Scheduler
+	client *dash.Client
+	video  *media.Video
+	met    *engineMetrics
+	wall   *obs.Wall
+}
+
+// Name implements transport.Scheduler.
+func (m *httpMirror) Name() string { return m.inner.Name() + "+http" }
+
+// Submit implements transport.Scheduler.
+func (m *httpMirror) Submit(r *transport.Request) {
+	m.mirror(context.Background(), r)
+	m.inner.Submit(r)
+}
+
+// SubmitCtx implements transport.ContextScheduler.
+func (m *httpMirror) SubmitCtx(ctx context.Context, r *transport.Request) {
+	m.mirror(ctx, r)
+	transport.SubmitContext(m.inner, ctx, r)
+}
+
+func (m *httpMirror) mirror(ctx context.Context, r *transport.Request) {
+	if ctx.Err() != nil {
+		return
+	}
+	idx := int(r.Chunk.Start / m.video.ChunkDuration)
+	start := m.wall.Now()
+	_, err := m.client.FetchChunk(ctx, m.video.ID, r.Chunk.Quality, int(r.Chunk.Tile), idx)
+	m.met.fetchMS.Observe(float64(m.wall.Now()-start) / float64(time.Millisecond))
+	m.met.fetches.Inc()
+	if err != nil {
+		m.met.errors.Inc()
+	}
+}

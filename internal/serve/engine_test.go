@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/media"
+	"sperke/internal/obs"
+	"sperke/internal/tiling"
+)
+
+func engineVideo() *media.Video {
+	return &media.Video{
+		ID:             "eng",
+		Duration:       12 * time.Second,
+		ChunkDuration:  2 * time.Second,
+		Grid:           tiling.GridPrototype,
+		ProjectionName: "equirectangular",
+		Ladder:         media.DefaultLadder,
+		Encoding:       media.EncodingAVC,
+	}
+}
+
+// TestEngineDeterministicAcrossWorkerCounts is the engine's core
+// guarantee: per-session QoE is a pure function of the seed, so the
+// same run at different worker counts yields identical reports.
+func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	v := engineVideo()
+	run := func(workers int) []SessionResult {
+		eng, err := NewEngine(EngineConfig{
+			Video:    v,
+			Sessions: 6,
+			Workers:  workers,
+			BaseSeed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run(context.Background()).Sessions
+	}
+	one := run(1)
+	four := run(4)
+	for i := range one {
+		if one[i].Err != nil {
+			t.Fatalf("session %d: %v", i, one[i].Err)
+		}
+		if !reflect.DeepEqual(one[i], four[i]) {
+			t.Fatalf("session %d differs across worker counts:\n1 worker:  %+v\n4 workers: %+v",
+				i, one[i], four[i])
+		}
+	}
+	if one[0].Seed != 99 || one[5].Seed != 104 {
+		t.Fatalf("seeds not BaseSeed+i: %d..%d", one[0].Seed, one[5].Seed)
+	}
+	// Different seeds must actually produce different viewers — otherwise
+	// the determinism check above proves nothing.
+	if reflect.DeepEqual(one[0].Report, one[1].Report) {
+		t.Fatal("adjacent seeds produced identical reports; seeding is broken")
+	}
+}
+
+// TestEngineAggregates checks the aggregate math against the
+// per-session reports it summarizes.
+func TestEngineAggregates(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Video: engineVideo(), Sessions: 3, Workers: 2, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(context.Background())
+	if res.Agg.Sessions != 3 {
+		t.Fatalf("aggregate sessions = %d, want 3", res.Agg.Sessions)
+	}
+	var bytes int64
+	var quality float64
+	for _, sr := range res.Sessions {
+		bytes += sr.Report.BytesFetched
+		quality += sr.Report.QoE.MeanQuality()
+	}
+	if res.Agg.BytesFetched != bytes {
+		t.Fatalf("aggregate bytes %d != sum %d", res.Agg.BytesFetched, bytes)
+	}
+	if got, want := res.Agg.MeanQuality, quality/3; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("aggregate mean quality %v != %v", got, want)
+	}
+	if res.Agg.BytesFetched == 0 {
+		t.Fatal("sessions fetched nothing")
+	}
+}
+
+// TestEngineAgainstHTTPOrigin drives viewers whose fetches also hit a
+// real DASH server backed by the sharded store, and checks the HTTP leg
+// leaves QoE untouched.
+func TestEngineAgainstHTTPOrigin(t *testing.T) {
+	v := engineVideo()
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	store := NewCatalogStore(catalog, StoreConfig{Shards: 4, BudgetBytes: 64 << 20, Obs: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: dash.NewServer(catalog, dash.WithStore(store))}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := dash.NewClient("http://" + ln.Addr().String())
+	mk := func(c *dash.Client) *Engine {
+		eng, err := NewEngine(EngineConfig{
+			Video: v, Sessions: 4, Workers: 4, BaseSeed: 5, Client: c, Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	withHTTP := mk(client).Run(context.Background())
+	if withHTTP.HTTPFetches == 0 {
+		t.Fatal("no HTTP fetches recorded")
+	}
+	if withHTTP.HTTPErrors != 0 {
+		t.Fatalf("%d HTTP errors", withHTTP.HTTPErrors)
+	}
+	if withHTTP.FetchLatency.Count != withHTTP.HTTPFetches {
+		t.Fatalf("latency samples %d != fetches %d", withHTTP.FetchLatency.Count, withHTTP.HTTPFetches)
+	}
+	hits := reg.Counter("serve.store.hits").Value()
+	misses := reg.Counter("serve.store.misses").Value()
+	if hits+misses == 0 {
+		t.Fatal("store saw no traffic")
+	}
+
+	// The HTTP leg is observation-only: QoE must match a pure-sim run.
+	pure := mk(nil).Run(context.Background())
+	for i := range pure.Sessions {
+		if !reflect.DeepEqual(pure.Sessions[i].Report, withHTTP.Sessions[i].Report) {
+			t.Fatalf("session %d QoE differs with HTTP leg attached", i)
+		}
+	}
+}
+
+// TestEngineContextCancel: a canceled run returns promptly with partial
+// (zero-play) reports rather than hanging the pool.
+func TestEngineContextCancel(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Video: engineVideo(), Sessions: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := eng.Run(ctx)
+	if len(res.Sessions) != 2 {
+		t.Fatalf("got %d session slots", len(res.Sessions))
+	}
+	for i, sr := range res.Sessions {
+		if sr.Err != nil {
+			t.Fatalf("session %d: %v", i, sr.Err)
+		}
+		if sr.Report.QoE.PlayTime != 0 {
+			t.Fatalf("session %d played %v under a pre-canceled context", i, sr.Report.QoE.PlayTime)
+		}
+	}
+}
+
+// TestNewEngineValidates pins config validation and defaults.
+func TestNewEngineValidates(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{}); err == nil {
+		t.Fatal("nil video accepted")
+	}
+	eng, err := NewEngine(EngineConfig{Video: engineVideo(), Sessions: 2, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.cfg.Workers != 2 {
+		t.Fatalf("workers not capped at sessions: %d", eng.cfg.Workers)
+	}
+}

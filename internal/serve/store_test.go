@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sperke/internal/obs"
+)
+
+func key(i int) ChunkKey {
+	return ChunkKey{Video: "v", Quality: 3, Tile: i % 12, Index: i}
+}
+
+// TestConcurrentColdFetchSynthesizesOnce is the singleflight contract:
+// however many goroutines race on one cold key, the body is synthesized
+// exactly once and everyone gets it.
+func TestConcurrentColdFetchSynthesizesOnce(t *testing.T) {
+	var calls int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	want := bytes.Repeat([]byte{0xab}, 512)
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			close(entered)
+		}
+		<-release
+		return want, nil
+	}, StoreConfig{Shards: 4, BudgetBytes: 1 << 20})
+
+	k := key(7)
+	const waiters = 32
+	got := make([][]byte, waiters+1)
+	errs := make([]error, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		got[0], errs[0] = st.Get(context.Background(), k)
+	}()
+	<-entered // leader is inside synth; everyone below must share it
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = st.Get(context.Background(), k)
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("synth ran %d times, want 1", n)
+	}
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("Get %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("Get %d returned wrong body (%d bytes)", i, len(got[i]))
+		}
+	}
+	if !st.Contains(k) {
+		t.Fatal("key not resident after synthesis")
+	}
+}
+
+// TestWaiterContextCancel: a caller waiting on someone else's synthesis
+// unblocks when its own context dies, without disturbing the flight.
+func TestWaiterContextCancel(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		close(entered)
+		<-release
+		return []byte("ok"), nil
+	}, StoreConfig{})
+
+	k := key(1)
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := st.Get(context.Background(), k)
+		leaderDone <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := st.Get(ctx, k)
+		waiterDone <- err
+	}()
+	cancel()
+	if err := <-waiterDone; err != context.Canceled {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader error: %v", err)
+	}
+	if !st.Contains(k) {
+		t.Fatal("flight should have completed and cached despite the canceled waiter")
+	}
+}
+
+// TestEvictionRespectsBudget pins the LRU byte accounting: the store
+// never holds more than its budget, evicts oldest-first, and re-misses
+// on an evicted key.
+func TestEvictionRespectsBudget(t *testing.T) {
+	var calls int32
+	body := bytes.Repeat([]byte{1}, 300)
+	reg := obs.NewRegistry()
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		atomic.AddInt32(&calls, 1)
+		return body, nil
+	}, StoreConfig{Shards: 1, BudgetBytes: 1000, Obs: reg})
+
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := st.Get(ctx, key(i)); err != nil {
+			t.Fatal(err)
+		}
+		if b := st.Bytes(); b > 1000 {
+			t.Fatalf("resident bytes %d exceed budget after insert %d", b, i)
+		}
+	}
+	// 4×300 = 1200 > 1000: the oldest entry must have gone.
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if st.Contains(key(0)) {
+		t.Fatal("oldest key survived past the budget")
+	}
+	for i := 1; i < 4; i++ {
+		if !st.Contains(key(i)) {
+			t.Fatalf("key %d should be resident", i)
+		}
+	}
+	if ev := reg.Counter("serve.store.evictions").Value(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if g := reg.Gauge("serve.store.bytes").Value(); g != st.Bytes() {
+		t.Fatalf("bytes gauge %d != resident %d", g, st.Bytes())
+	}
+
+	// Touch key(1) so key(2) is the LRU tail, then insert a new key and
+	// check recency is what eviction follows.
+	if _, err := st.Get(ctx, key(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(ctx, key(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Contains(key(2)) {
+		t.Fatal("LRU tail survived; recency not honored")
+	}
+	if !st.Contains(key(1)) {
+		t.Fatal("recently used key evicted")
+	}
+
+	// An evicted key is a fresh miss.
+	before := atomic.LoadInt32(&calls)
+	if _, err := st.Get(ctx, key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&calls) != before+1 {
+		t.Fatal("evicted key did not re-synthesize")
+	}
+}
+
+// TestOversizedBodyUncacheable: a body larger than a shard's budget
+// slice is served but never cached.
+func TestOversizedBodyUncacheable(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		return make([]byte, 4096), nil
+	}, StoreConfig{Shards: 1, BudgetBytes: 1024, Obs: reg})
+	b, err := st.Get(context.Background(), key(0))
+	if err != nil || len(b) != 4096 {
+		t.Fatalf("Get = %d bytes, %v", len(b), err)
+	}
+	if st.Contains(key(0)) || st.Bytes() != 0 {
+		t.Fatal("oversized body was cached")
+	}
+	if u := reg.Counter("serve.store.uncacheable").Value(); u != 1 {
+		t.Fatalf("uncacheable = %d, want 1", u)
+	}
+}
+
+// TestSynthErrorNotCached: a failed synthesis propagates its error and
+// leaves nothing behind, so the next Get retries.
+func TestSynthErrorNotCached(t *testing.T) {
+	var calls int32
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return nil, fmt.Errorf("flaky")
+		}
+		return []byte("ok"), nil
+	}, StoreConfig{})
+	if _, err := st.Get(context.Background(), key(0)); err == nil {
+		t.Fatal("expected error from first synthesis")
+	}
+	if st.Contains(key(0)) {
+		t.Fatal("error result was cached")
+	}
+	if _, err := st.Get(context.Background(), key(0)); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+// TestShardsPowerOfTwo pins the rounding and the shard mask.
+func TestShardsPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 16}, {1, 1}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		st := NewStore(func(ChunkKey) ([]byte, error) { return nil, nil }, StoreConfig{Shards: tc.in})
+		if got := st.Shards(); got != tc.want {
+			t.Errorf("Shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParallelMixedWorkload hammers the store from many goroutines over
+// a keyspace larger than the budget — run under -race this is the
+// lock-striping soundness check.
+func TestParallelMixedWorkload(t *testing.T) {
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		return bytes.Repeat([]byte{byte(k.Index)}, 200), nil
+	}, StoreConfig{Shards: 8, BudgetBytes: 8 * 1024})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				k := key((g*7 + i) % 100)
+				b, err := st.Get(ctx, k)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if len(b) != 200 || b[0] != byte(k.Index) {
+					t.Errorf("wrong body for %v", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b := st.Bytes(); b > 8*1024 {
+		t.Fatalf("resident bytes %d exceed budget", b)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"time"
 
 	"sperke/internal/netem"
@@ -27,6 +28,9 @@ type PathStats struct {
 	// Expired counts queued requests shed because their deadline passed
 	// before they could be dispatched.
 	Expired int
+	// Canceled counts queued requests shed because their submission
+	// context was canceled before they could be dispatched (SubmitCtx).
+	Canceled int
 }
 
 // Failover is a multipath scheduler with a circuit breaker per path:
@@ -62,6 +66,7 @@ type failoverMetrics struct {
 	rerouted   *obs.Counter
 	retries    *obs.Counter
 	expired    *obs.Counter
+	canceled   *obs.Counter
 }
 
 // SetObs wires the scheduler (and every path breaker) into a metrics
@@ -78,6 +83,7 @@ func (f *Failover) SetObs(r *obs.Registry) {
 		rerouted:   r.Counter("transport.failover.rerouted"),
 		retries:    r.Counter("transport.failover.retries"),
 		expired:    r.Counter("transport.failover.expired"),
+		canceled:   r.Counter("transport.failover.canceled"),
 	}
 	for _, b := range f.breakers {
 		b.Obs = r
@@ -121,6 +127,7 @@ func (f *Failover) TotalStats() PathStats {
 		t.Rerouted += s.Rerouted
 		t.Retries += s.Retries
 		t.Expired += s.Expired
+		t.Canceled += s.Canceled
 	}
 	return t
 }
@@ -153,6 +160,14 @@ func (f *Failover) Submit(r *Request) {
 	f.queues[idx].Push(r)
 	f.pump(idx)
 	f.syncQueueGauge()
+}
+
+// SubmitCtx implements ContextScheduler: a queued request whose context
+// is done by dispatch (or retry) time is shed instead of spending wire
+// time nobody is waiting for.
+func (f *Failover) SubmitCtx(ctx context.Context, r *Request) {
+	r.ctx = ctx
+	f.Submit(r)
 }
 
 // syncQueueGauge mirrors the queued (not in-flight) request count into
@@ -195,16 +210,18 @@ func (f *Failover) pump(i int) {
 	// behind it.
 	for {
 		r := f.queues[i].Peek()
-		if r == nil || f.Clock.Now() < r.Deadline {
+		if r == nil || (f.Clock.Now() < r.Deadline && !r.canceled()) {
 			break
 		}
 		f.queues[i].Pop()
-		f.stats[i].Expired++
-		f.met.expired.Inc()
-		if r.OnDone != nil {
-			now := f.Clock.Now()
-			r.OnDone(netem.Delivery{Start: now, Service: now, Done: now, Bytes: r.Bytes, OK: false}, false)
+		if r.canceled() {
+			f.stats[i].Canceled++
+			f.met.canceled.Inc()
+		} else {
+			f.stats[i].Expired++
+			f.met.expired.Inc()
 		}
+		shed(f.Clock, r)
 	}
 	if f.queues[i].Len() == 0 {
 		return
@@ -256,8 +273,9 @@ func (f *Failover) onDelivery(i int, r *Request, d netem.Delivery) {
 		f.stats[i].Failures++
 		f.met.failures.Inc()
 		// A lost delivery is worth another try on a (possibly different)
-		// path while the deadline still stands.
-		if r.retries < f.maxRetries() && f.Clock.Now() < r.Deadline {
+		// path while the deadline still stands and the submitter is still
+		// listening.
+		if r.retries < f.maxRetries() && f.Clock.Now() < r.Deadline && !r.canceled() {
 			r.retries++
 			f.stats[i].Retries++
 			f.met.retries.Inc()

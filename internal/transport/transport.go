@@ -10,6 +10,7 @@ package transport
 
 import (
 	"container/heap"
+	"context"
 	"time"
 
 	"sperke/internal/netem"
@@ -51,8 +52,23 @@ type Request struct {
 	// met. May be nil.
 	OnDone func(d netem.Delivery, metDeadline bool)
 
-	seq     int // submission order, for stable tie-breaks
-	retries int // redispatches consumed after lost deliveries (Failover)
+	seq     int             // submission order, for stable tie-breaks
+	retries int             // redispatches consumed after lost deliveries (Failover)
+	ctx     context.Context // caller's context (SubmitCtx); nil means Background
+}
+
+// Context returns the context the request was submitted under;
+// requests submitted through the legacy Submit carry Background.
+func (r *Request) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// canceled reports whether the submitter no longer wants the request.
+func (r *Request) canceled() bool {
+	return r.ctx != nil && r.ctx.Err() != nil
 }
 
 // less orders requests by Table 1: urgent before regular, FoV before
@@ -128,6 +144,32 @@ type Scheduler interface {
 	Submit(r *Request)
 }
 
+// ContextScheduler is implemented by schedulers whose submissions honor
+// a caller context: a request whose context is done by the time the
+// scheduler would dispatch it is shed (completed with a failed
+// delivery) instead of occupying the wire. SinglePath and Failover
+// implement it; callers holding only a Scheduler can type-assert, and
+// SubmitContext does exactly that as a convenience.
+type ContextScheduler interface {
+	Scheduler
+	// SubmitCtx enqueues one request under ctx. Cancellation is checked
+	// at dispatch points (sim-clock schedulers cannot observe it between
+	// events); a canceled request completes through OnDone with a failed
+	// delivery.
+	SubmitCtx(ctx context.Context, r *Request)
+}
+
+// SubmitContext submits r under ctx when the scheduler supports
+// contexts and falls back to a plain Submit otherwise — the one-line
+// bridge call sites use while legacy schedulers remain.
+func SubmitContext(s Scheduler, ctx context.Context, r *Request) {
+	if cs, ok := s.(ContextScheduler); ok {
+		cs.SubmitCtx(ctx, r)
+		return
+	}
+	s.Submit(r)
+}
+
 // clockSource abstracts the sim clock for deadline checks; netem.Path
 // already carries one, so schedulers read time through their paths'
 // deliveries.
@@ -157,11 +199,35 @@ func (s *SinglePath) Submit(r *Request) {
 	s.pump()
 }
 
+// SubmitCtx implements ContextScheduler: the request is shed at
+// dispatch time if ctx has been canceled by then.
+func (s *SinglePath) SubmitCtx(ctx context.Context, r *Request) {
+	r.ctx = ctx
+	s.Submit(r)
+}
+
+// shed completes a request that will never be dispatched with a failed
+// zero-service delivery at the current virtual time.
+func shed(clock clockNow, r *Request) {
+	if r.OnDone == nil {
+		return
+	}
+	var now time.Duration
+	if clock != nil {
+		now = clock.Now()
+	}
+	r.OnDone(netem.Delivery{Start: now, Service: now, Done: now, Bytes: r.Bytes, OK: false}, false)
+}
+
 func (s *SinglePath) pump() {
 	if s.active {
 		return
 	}
 	r := s.q.Pop()
+	for r != nil && r.canceled() {
+		shed(s.Clock, r)
+		r = s.q.Pop()
+	}
 	if r == nil {
 		return
 	}

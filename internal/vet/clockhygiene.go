@@ -4,13 +4,16 @@ import (
 	"go/ast"
 )
 
-// clockSpans extends the deterministic packages with the two real-socket
+// clockSpans extends the deterministic packages with the real-socket
 // substrates the roadmap routes through injected clocks: rtmp stamps
 // segment arrival times and handshake nonces, netem schedules token
-// buckets. Both own exactly one allowlisted wall seam.
+// buckets, and serve's session engine measures HTTP fetch latency.
+// Each reads wall time only through an allowlisted seam (serve borrows
+// obs.NewWall rather than owning one).
 var clockSpans = append([]string{
 	"internal/rtmp",
 	"internal/netem",
+	"internal/serve",
 }, deterministicSpans...)
 
 // clockAllowlist names the functions that are the designated wall-clock
