@@ -25,22 +25,28 @@ func benchVideo() *media.Video {
 	}
 }
 
-// BenchmarkChunkStore pins the sharded chunk store's cache win: "warm"
-// serves resident bodies, "cold" synthesizes every request (a 1-byte
-// budget makes everything uncacheable). The acceptance bar for PR 4 is
-// warm ≥ 5× faster than cold.
-func BenchmarkChunkStore(b *testing.B) {
-	v := benchVideo()
-	catalog := dash.NewCatalog()
-	if err := catalog.Add(v); err != nil {
-		b.Fatal(err)
-	}
+func benchKeys(v *media.Video) []serve.ChunkKey {
 	var keys []serve.ChunkKey
 	for idx := 0; idx < v.NumChunks(); idx++ {
 		for tile := 0; tile < v.Grid.Tiles(); tile++ {
 			keys = append(keys, serve.ChunkKey{Video: v.ID, Quality: 3, Tile: tile, Index: idx})
 		}
 	}
+	return keys
+}
+
+// BenchmarkChunkStore pins the sharded chunk store's cache win: "warm"
+// serves resident bodies, "cold" synthesizes every request (a 1-byte
+// budget makes everything uncacheable). The acceptance bar for PR 4 is
+// warm ≥ 5× faster than cold; PR 5 additionally pins the allocation
+// profile of both paths in BENCH_BASELINE.json.
+func BenchmarkChunkStore(b *testing.B) {
+	v := benchVideo()
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(v); err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(v)
 	run := func(b *testing.B, st *serve.Store) {
 		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
@@ -51,6 +57,7 @@ func BenchmarkChunkStore(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) {
 		st := serve.NewCatalogStore(catalog, serve.StoreConfig{Shards: 16, BudgetBytes: 1})
+		b.ReportAllocs()
 		b.ResetTimer()
 		run(b, st)
 	})
@@ -62,8 +69,39 @@ func BenchmarkChunkStore(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		run(b, st)
+	})
+}
+
+// BenchmarkAppendChunkBody pins the synthesis chain itself: "fresh"
+// allocates a new body per chunk (the legacy BuildChunkBody shape),
+// "reuse" rebuilds into one recycled buffer — the steady state of the
+// pooled handler scratch path, which must stay at zero allocs/op.
+func BenchmarkAppendChunkBody(b *testing.B) {
+	v := benchVideo()
+	keys := benchKeys(v)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k := keys[i%len(keys)]
+			if _, err := dash.BuildChunkBody(v, k.Quality, k.Tile, k.Index, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k := keys[i%len(keys)]
+			out, err := dash.AppendChunkBody(buf[:0], v, k.Quality, k.Tile, k.Index, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
 	})
 }
 

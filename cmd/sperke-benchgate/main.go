@@ -1,0 +1,110 @@
+// Command sperke-benchgate is the continuous benchmark gate (package
+// internal/benchgate): it parses `go test -bench -benchmem` output and
+// compares it against the committed BENCH_BASELINE.json, failing CI on
+// performance regressions.
+//
+//	go test -run=NONE -bench=. -benchmem . | sperke-benchgate -update BENCH_BASELINE.json
+//	go test -run=NONE -bench=. -benchmem . | sperke-benchgate -compare BENCH_BASELINE.json
+//	sperke-benchgate -compare BENCH_BASELINE.json -input bench.txt -ns-tolerance 0.5
+//
+// Compare exits 0 when every baselined benchmark holds its numbers, 1
+// when one regresses (> the ns/op tolerance, any allocs/op growth, or
+// a baselined benchmark missing from the run), and 2 on usage or parse
+// errors. Update merges the run into the baseline file, creating it if
+// absent, and leaves entries for benchmarks outside the run untouched.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sperke/internal/benchgate"
+)
+
+func main() {
+	update := flag.String("update", "", "merge this run into the baseline file and exit")
+	compare := flag.String("compare", "", "compare this run against the baseline file")
+	input := flag.String("input", "-", "bench output to read (- = stdin)")
+	nsTol := flag.Float64("ns-tolerance", 0.25, "allowed fractional ns/op growth before failing")
+	allocSlack := flag.Int64("alloc-slack", 0, "allowed absolute allocs/op growth (default: any increase fails)")
+	allowMissing := flag.Bool("allow-missing", false, "don't fail when a baselined benchmark is absent from the run")
+	note := flag.String("note", "", "with -update: set the baseline's note field")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: go test -run=NONE -bench=. -benchmem [pkgs] | sperke-benchgate (-update|-compare) BENCH_BASELINE.json\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if (*update == "") == (*compare == "") {
+		fmt.Fprintln(os.Stderr, "sperke-benchgate: exactly one of -update or -compare is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := benchgate.ParseBench(src)
+	if err != nil {
+		fail(err)
+	}
+	if len(results) == 0 {
+		fail(fmt.Errorf("sperke-benchgate: no benchmark lines in input (did the bench run produce output?)"))
+	}
+
+	if *update != "" {
+		base, err := benchgate.LoadBaseline(*update)
+		if errors.Is(err, os.ErrNotExist) {
+			base, err = &benchgate.Baseline{Benchmarks: map[string]benchgate.Entry{}}, nil
+		}
+		if err != nil {
+			fail(err)
+		}
+		base.Merge(results)
+		if *note != "" {
+			base.Note = *note
+		}
+		if err := base.Save(*update); err != nil {
+			fail(err)
+		}
+		fmt.Printf("sperke-benchgate: %s now pins %d benchmark(s) (%d from this run)\n",
+			*update, len(base.Benchmarks), len(results))
+		return
+	}
+
+	base, err := benchgate.LoadBaseline(*compare)
+	if err != nil {
+		fail(err)
+	}
+	regressions, notes := benchgate.Compare(base, results, benchgate.CompareConfig{
+		NsTolerance:  *nsTol,
+		AllocSlack:   *allocSlack,
+		AllowMissing: *allowMissing,
+	})
+	for _, n := range notes {
+		fmt.Printf("note: %s\n", n.Msg)
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r.Msg)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "sperke-benchgate: %d regression(s) against %s\n", len(regressions), *compare)
+		os.Exit(1)
+	}
+	fmt.Printf("sperke-benchgate: %d benchmark(s) within baseline %s\n", len(results), *compare)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

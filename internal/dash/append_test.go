@@ -1,0 +1,67 @@
+package dash
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendChunkBodyMatchesBuild: the append variant is the build
+// variant — byte-identical output for base chunks and SVC layers, and
+// a dst prefix passes through untouched.
+func TestAppendChunkBodyMatchesBuild(t *testing.T) {
+	v := testVideo()
+	for _, layer := range []bool{false, true} {
+		want, err := BuildChunkBody(v, 2, 5, 3, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendChunkBody(nil, v, 2, 5, 3, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("layer=%v: append output differs from build", layer)
+		}
+
+		prefix := []byte("prefix")
+		dst := append([]byte(nil), prefix...)
+		dst, err = AppendChunkBody(dst, v, 2, 5, 3, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst[:len(prefix)], prefix) || !bytes.Equal(dst[len(prefix):], want) {
+			t.Fatalf("layer=%v: prefix not preserved or body differs", layer)
+		}
+	}
+
+	// Error path: invalid tile leaves dst unchanged.
+	dst := []byte("keep")
+	got, err := AppendChunkBody(dst, v, 2, v.Grid.Tiles(), 3, false)
+	if err == nil {
+		t.Fatal("out-of-range tile accepted")
+	}
+	if !bytes.Equal(got, []byte("keep")) {
+		t.Fatal("dst modified on error")
+	}
+}
+
+// TestAppendChunkBodyReuseZeroAlloc pins the buffer-reuse win the pool
+// depends on: once dst has capacity, rebuilding a chunk body into it
+// allocates nothing.
+func TestAppendChunkBodyReuseZeroAlloc(t *testing.T) {
+	v := testVideo()
+	dst, err := AppendChunkBody(nil, v, 2, 5, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		dst, err = AppendChunkBody(dst[:0], v, 2, 5, 3, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendChunkBody reuse: %v allocs/op, want 0", allocs)
+	}
+}

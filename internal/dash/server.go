@@ -1,7 +1,6 @@
 package dash
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"log/slog"
@@ -116,7 +115,15 @@ type Server struct {
 	mux  *http.ServeMux
 	once sync.Once
 	met  serverMetrics
+	// scratch recycles chunk-body build buffers on the store-less path,
+	// so steady-state synthesis allocates nothing per request
+	// (dash.server.pool_hits / pool_misses).
+	scratch *obs.BufferPool
 }
+
+// maxPooledBody caps the capacity of recycled build buffers: bodies
+// that grew larger are dropped on Put rather than pinning memory.
+const maxPooledBody = 8 << 20
 
 // ServerOption configures a Server at construction.
 type ServerOption func(*Server)
@@ -200,6 +207,7 @@ func (s *Server) init() {
 	if s.Obs != nil {
 		s.met.wall = obs.NewWall()
 	}
+	s.scratch = obs.NewBufferPool(s.Obs, "dash.server", maxPooledBody)
 }
 
 // handleList returns the catalog's video IDs, one per line.
@@ -293,7 +301,13 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if s.Store != nil {
 		body, err = s.Store.Chunk(r.Context(), v.ID, q, tile, idx, isLayer)
 	} else {
-		body, err = BuildChunkBody(v, q, tile, idx, isLayer)
+		// Build into pooled scratch: the body is written to the response
+		// below and the buffer recycled on return, so the store-less path
+		// stops allocating once the pool is warm.
+		scratch := s.scratch.Get()
+		defer s.scratch.Put(scratch)
+		body, err = AppendChunkBody((*scratch)[:0], v, q, tile, idx, isLayer)
+		*scratch = body
 	}
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -316,14 +330,24 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 // container holding a deterministic payload sized by the video's rate
 // model. This is the single synthesis routine both the per-request path
 // and the sharded store (internal/serve) share, so cached and fresh
-// bodies are byte-identical.
+// bodies are byte-identical. It is a thin wrapper over AppendChunkBody
+// with a fresh exactly-sized destination.
 func BuildChunkBody(v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
+	return AppendChunkBody(nil, v, q, tile, idx, layer)
+}
+
+// AppendChunkBody appends the wire body of one chunk to dst and
+// returns the extended slice, allocating only when dst lacks capacity —
+// the appending variant of BuildChunkBody for pooled scratch buffers.
+// The payload is synthesized directly into dst in a single pass. On
+// error dst is returned unchanged.
+func AppendChunkBody(dst []byte, v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
 	start := v.ChunkStart(idx)
 	var size int64
 	var flags uint8
 	if layer {
 		if v.Encoding != media.EncodingSVC {
-			return nil, fmt.Errorf("dash: video %q is not SVC encoded", v.ID)
+			return dst, fmt.Errorf("dash: video %q is not SVC encoded", v.ID)
 		}
 		size = v.LayerBytes(q, tiling.TileID(tile), start)
 		flags |= media.FlagSVCLayer
@@ -331,7 +355,7 @@ func BuildChunkBody(v *media.Video, q, tile, idx int, layer bool) ([]byte, error
 		size = v.ChunkBytes(q, tiling.TileID(tile), start)
 	}
 	if size <= 0 {
-		return nil, fmt.Errorf("dash: empty chunk %s/%d/%d/%d", v.ID, q, tile, idx)
+		return dst, fmt.Errorf("dash: empty chunk %s/%d/%d/%d", v.ID, q, tile, idx)
 	}
 	h := media.SegmentHeader{
 		VideoID:  v.ID,
@@ -342,13 +366,11 @@ func BuildChunkBody(v *media.Video, q, tile, idx int, layer bool) ([]byte, error
 		Duration: v.ChunkDuration,
 	}
 	seed := uint64(q)<<40 ^ uint64(tile)<<20 ^ uint64(idx) ^ 0x5eed
-	payload := media.SyntheticPayload(seed, int(size))
-	var buf bytes.Buffer
-	buf.Grow(media.SegmentLen(v.ID, len(payload)))
-	if err := media.WriteSegment(&buf, h, payload); err != nil {
-		return nil, fmt.Errorf("dash: building chunk body: %w", err)
+	out, err := media.AppendSyntheticSegment(dst, h, seed, int(size))
+	if err != nil {
+		return dst, fmt.Errorf("dash: building chunk body: %w", err)
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // chunkPath renders the URL path of a chunk.

@@ -70,13 +70,14 @@ var (
 	ErrCorrupt    = errors.New("media: segment payload CRC mismatch")
 )
 
-// WriteSegment encodes one segment to w.
-func WriteSegment(w io.Writer, h SegmentHeader, payload []byte) error {
+// validateSegment checks header and payload bounds shared by every
+// encoder entry point.
+func validateSegment(h SegmentHeader, payloadLen int) error {
 	if len(h.VideoID) == 0 || len(h.VideoID) > 255 {
 		return fmt.Errorf("media: video ID length %d out of range [1,255]", len(h.VideoID))
 	}
-	if len(payload) > MaxPayloadLen {
-		return fmt.Errorf("media: payload %d exceeds max %d", len(payload), MaxPayloadLen)
+	if payloadLen > MaxPayloadLen {
+		return fmt.Errorf("media: payload %d exceeds max %d", payloadLen, MaxPayloadLen)
 	}
 	if h.Quality < 0 || h.Quality > 255 {
 		return fmt.Errorf("media: quality %d out of range [0,255]", h.Quality)
@@ -84,23 +85,84 @@ func WriteSegment(w io.Writer, h SegmentHeader, payload []byte) error {
 	if h.Tile < 0 || h.Tile > 0xffff {
 		return fmt.Errorf("media: tile %d out of range", h.Tile)
 	}
-	buf := make([]byte, headerFixedLen+len(h.VideoID))
-	copy(buf, segmentMagic)
-	buf[4] = segmentVersion
-	buf[5] = uint8(h.Quality)
-	buf[6] = h.Flags
-	buf[7] = uint8(len(h.VideoID))
-	binary.BigEndian.PutUint16(buf[8:], uint16(h.Tile))
-	binary.BigEndian.PutUint32(buf[10:], uint32(h.Start/time.Millisecond))
-	binary.BigEndian.PutUint32(buf[14:], uint32(h.Duration/time.Millisecond))
-	binary.BigEndian.PutUint32(buf[18:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(buf[22:], crc32.ChecksumIEEE(payload))
-	copy(buf[headerFixedLen:], h.VideoID)
+	return nil
+}
+
+// appendSegmentHeader appends the fixed header and video ID for a
+// payload of payloadLen bytes with the given CRC. Callers must have
+// validated h first.
+func appendSegmentHeader(dst []byte, h SegmentHeader, payloadLen int, crc uint32) []byte {
+	var fixed [headerFixedLen]byte
+	copy(fixed[:], segmentMagic)
+	fixed[4] = segmentVersion
+	fixed[5] = uint8(h.Quality)
+	fixed[6] = h.Flags
+	fixed[7] = uint8(len(h.VideoID))
+	binary.BigEndian.PutUint16(fixed[8:], uint16(h.Tile))
+	binary.BigEndian.PutUint32(fixed[10:], uint32(h.Start/time.Millisecond))
+	binary.BigEndian.PutUint32(fixed[14:], uint32(h.Duration/time.Millisecond))
+	binary.BigEndian.PutUint32(fixed[18:], uint32(payloadLen))
+	binary.BigEndian.PutUint32(fixed[22:], crc)
+	dst = append(dst, fixed[:]...)
+	return append(dst, h.VideoID...)
+}
+
+// growCap ensures dst has room for n more bytes without changing its
+// length, reallocating exactly once when it does not.
+func growCap(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	out := make([]byte, len(dst), len(dst)+n)
+	copy(out, dst)
+	return out
+}
+
+// WriteSegment encodes one segment to w.
+func WriteSegment(w io.Writer, h SegmentHeader, payload []byte) error {
+	if err := validateSegment(h, len(payload)); err != nil {
+		return err
+	}
+	buf := appendSegmentHeader(make([]byte, 0, headerFixedLen+len(h.VideoID)),
+		h, len(payload), crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(buf); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// AppendSegment appends the wire encoding of one segment to dst and
+// returns the extended slice — the same bytes WriteSegment would emit.
+// On error dst is returned unchanged.
+func AppendSegment(dst []byte, h SegmentHeader, payload []byte) ([]byte, error) {
+	if err := validateSegment(h, len(payload)); err != nil {
+		return dst, err
+	}
+	dst = growCap(dst, SegmentLen(h.VideoID, len(payload)))
+	dst = appendSegmentHeader(dst, h, len(payload), crc32.ChecksumIEEE(payload))
+	return append(dst, payload...), nil
+}
+
+// AppendSyntheticSegment appends a segment whose payload is
+// SyntheticPayload(seed, n), generating the payload directly into dst
+// and back-patching the CRC — a single pass with no intermediate
+// payload slice. On error dst is returned unchanged. The result is
+// byte-identical to AppendSegment(dst, h, SyntheticPayload(seed, n)).
+func AppendSyntheticSegment(dst []byte, h SegmentHeader, seed uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return dst, fmt.Errorf("media: negative payload length %d", n)
+	}
+	if err := validateSegment(h, n); err != nil {
+		return dst, err
+	}
+	dst = growCap(dst, SegmentLen(h.VideoID, n))
+	base := len(dst)
+	dst = appendSegmentHeader(dst, h, n, 0)
+	payloadStart := len(dst)
+	dst = AppendSyntheticPayload(dst, seed, n)
+	binary.BigEndian.PutUint32(dst[base+22:], crc32.ChecksumIEEE(dst[payloadStart:]))
+	return dst, nil
 }
 
 // ReadSegment decodes one segment from r, validating magic, version,
@@ -154,19 +216,44 @@ func SegmentLen(videoID string, payloadLen int) int {
 
 // SyntheticPayload produces deterministic pseudo-random payload bytes
 // standing in for coded video data. The same (seed, n) always yields the
-// same bytes, so CRCs are stable across runs.
+// same bytes, so CRCs are stable across runs, and distinct seeds yield
+// distinct streams.
 func SyntheticPayload(seed uint64, n int) []byte {
-	out := make([]byte, n)
+	if n <= 0 {
+		return []byte{}
+	}
+	return AppendSyntheticPayload(make([]byte, 0, n), seed, n)
+}
+
+// AppendSyntheticPayload appends SyntheticPayload(seed, n) to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+func AppendSyntheticPayload(dst []byte, seed uint64, n int) []byte {
+	if n <= 0 {
+		return dst
+	}
+	dst = growCap(dst, n)
+	base := len(dst)
+	dst = dst[:base+n]
+	// Mix the seed through a splitmix64 finalizer before forcing it
+	// odd: seeding xorshift with a raw `seed | 1` collapses seeds 2k
+	// and 2k+1 onto the same stream, so distinct chunks could share
+	// payload bytes and skew cache-dedup and CRC-based comparisons.
+	x := seed + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	x |= 1 // xorshift state must stay non-zero
 	// xorshift64* — tiny, fast, deterministic.
-	x := seed | 1
 	for i := 0; i < n; i += 8 {
 		x ^= x >> 12
 		x ^= x << 25
 		x ^= x >> 27
 		v := x * 2685821657736338717
 		for j := 0; j < 8 && i+j < n; j++ {
-			out[i+j] = byte(v >> (8 * j))
+			dst[base+i+j] = byte(v >> (8 * j))
 		}
 	}
-	return out
+	return dst
 }

@@ -170,34 +170,31 @@ func (v *Video) svcOverhead() float64 {
 	return DefaultSVCOverhead
 }
 
-// hash64 folds strings and integers into a deterministic 64-bit value
-// (FNV-1a), the source of all per-video "content" randomness.
-func hash64(parts ...any) uint64 {
-	h := uint64(14695981039346656037)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= 1099511628211
+// fnv64 is an incremental FNV-1a fold with typed mixers, the source of
+// all per-video "content" randomness. The typed methods (rather than a
+// variadic ...any signature) matter: ChunkBytes hashes on every chunk
+// request, and interface boxing of the video ID was two heap
+// allocations per call on the serving hot path. Each part is folded
+// byte-wise and terminated with a 0xff sentinel so "ab","c" and
+// "a","bc" hash differently.
+type fnv64 uint64
+
+func newFNV64() fnv64 { return 14695981039346656037 }
+
+func (h fnv64) mix(b byte) fnv64 { return (h ^ fnv64(b)) * 1099511628211 }
+
+func (h fnv64) str(s string) fnv64 {
+	for i := 0; i < len(s); i++ {
+		h = h.mix(s[i])
 	}
-	for _, p := range parts {
-		switch x := p.(type) {
-		case string:
-			for i := 0; i < len(x); i++ {
-				mix(x[i])
-			}
-		case int:
-			for i := 0; i < 8; i++ {
-				mix(byte(uint64(x) >> (8 * i)))
-			}
-		case int64:
-			for i := 0; i < 8; i++ {
-				mix(byte(uint64(x) >> (8 * i)))
-			}
-		default:
-			panic(fmt.Sprintf("media: hash64 of %T", p))
-		}
-		mix(0xff)
+	return h.mix(0xff)
+}
+
+func (h fnv64) num(x int64) fnv64 {
+	for i := 0; i < 8; i++ {
+		h = h.mix(byte(uint64(x) >> (8 * i)))
 	}
-	return h
+	return h.mix(0xff)
 }
 
 // unit maps a hash to [0,1).
@@ -208,13 +205,13 @@ func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
 // action tiles; the exact map is a deterministic function of the video
 // ID so experiments are reproducible.
 func (v *Video) TileComplexity(tile tiling.TileID) float64 {
-	return 0.6 + 0.8*unit(hash64(v.ID, "tile", int(tile)))
+	return 0.6 + 0.8*unit(uint64(newFNV64().str(v.ID).str("tile").num(int64(tile))))
 }
 
 // chunkVariation is the temporal size variation of a chunk interval in
 // [0.8, 1.2] (scene activity varies over time).
 func (v *Video) chunkVariation(idx int) float64 {
-	return 0.8 + 0.4*unit(hash64(v.ID, "time", idx))
+	return 0.8 + 0.4*unit(uint64(newFNV64().str(v.ID).str("time").num(int64(idx))))
 }
 
 // ChunkBytes returns the size in bytes of chunk C(q, l, t) under

@@ -135,8 +135,13 @@ func NewContentAware(clock clockNow, paths ...*netem.Path) *ContentAware {
 func (c *ContentAware) Name() string { return "content-aware" }
 
 // bestPath returns the index of the path with the shortest estimated
-// completion for the given size.
+// completion for the given size, or -1 when the scheduler has no paths
+// (mirroring otherPath's handling of the degenerate case instead of
+// panicking on Paths[0]).
 func (c *ContentAware) bestPath(bytes int64) int {
+	if len(c.Paths) == 0 {
+		return -1
+	}
 	best := 0
 	bestT := c.Paths[0].EstimateTransferTime(bytes)
 	for i := 1; i < len(c.Paths); i++ {
@@ -145,6 +150,15 @@ func (c *ContentAware) bestPath(bytes int64) int {
 		}
 	}
 	return best
+}
+
+// ensure sizes the per-path queue state so a ContentAware assembled as
+// a struct literal (skipping NewContentAware) is still safe to use.
+func (c *ContentAware) ensure() {
+	if len(c.queues) != len(c.Paths) {
+		c.queues = make([]transport.Queue, len(c.Paths))
+		c.active = make([]int, len(c.Paths))
+	}
 }
 
 // otherPath returns the least-loaded path other than avoid (or avoid
@@ -167,11 +181,18 @@ func (c *ContentAware) otherPath(avoid int, bytes int64) int {
 	return best
 }
 
-// Submit implements transport.Scheduler.
+// Submit implements transport.Scheduler. With zero paths every request
+// fails fast — OnDone fires with an unsuccessful delivery instead of
+// silently vanishing (or panicking), so callers waiting on completion
+// are never left hanging.
 func (c *ContentAware) Submit(r *transport.Request) {
 	if len(c.Paths) == 0 {
+		if r.OnDone != nil {
+			r.OnDone(netem.Delivery{Bytes: r.Bytes, OK: false}, false)
+		}
 		return
 	}
+	c.ensure()
 	if r.Urgent && c.DuplicateUrgent && len(c.Paths) > 1 {
 		c.submitDuplicated(r)
 		return

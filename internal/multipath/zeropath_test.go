@@ -1,0 +1,86 @@
+package multipath
+
+import (
+	"testing"
+	"time"
+
+	"sperke/internal/netem"
+	"sperke/internal/sim"
+	"sperke/internal/transport"
+)
+
+// TestContentAwareZeroPathsFailsFast is the PR 5 regression test for
+// the bestPath panic: a scheduler with no paths must not crash on
+// Submit, and must fail the request through OnDone rather than drop it
+// silently.
+func TestContentAwareZeroPathsFailsFast(t *testing.T) {
+	clock := sim.NewClock(1)
+	c := NewContentAware(clock)
+
+	called, okFlag := false, true
+	c.Submit(mkReq(1, transport.ClassFoV, false, 1e6, time.Second, func(d netem.Delivery, ok bool) {
+		called, okFlag = true, ok
+		if d.Bytes != 1e6 {
+			t.Errorf("failed delivery reports %d bytes, want the request size", d.Bytes)
+		}
+		if d.OK {
+			t.Error("zero-path delivery marked OK")
+		}
+	}))
+	if !called {
+		t.Fatal("OnDone never fired with zero paths")
+	}
+	if okFlag {
+		t.Fatal("zero-path submit reported success")
+	}
+
+	// Urgent and OOS classes go down different routing branches; none
+	// may panic.
+	c.Submit(mkReq(2, transport.ClassOOS, false, 1e5, time.Second, nil))
+	c.Submit(mkReq(3, transport.ClassFoV, true, 1e5, time.Second, nil))
+
+	if c.bestPath(1e6) != -1 {
+		t.Fatal("bestPath with zero paths must return -1")
+	}
+}
+
+// TestContentAwareStructLiteral: assembling the scheduler without the
+// constructor (nil queues) must still work — ensure() sizes the state
+// on first Submit.
+func TestContentAwareStructLiteral(t *testing.T) {
+	clock := sim.NewClock(1)
+	wifi, lte := twoPaths(clock)
+	c := &ContentAware{Paths: []*netem.Path{wifi, lte}, Clock: clock}
+
+	var got netem.Delivery
+	c.Submit(mkReq(1, transport.ClassFoV, false, 1e6, time.Minute, func(d netem.Delivery, ok bool) { got = d }))
+	clock.Run()
+	if got.Bytes != 1e6 || !got.OK {
+		t.Fatalf("struct-literal scheduler failed delivery: %+v", got)
+	}
+}
+
+// TestContentAwareOnePath re-pins the degenerate single-path routing
+// alongside the new guard: both classes land on the only path.
+func TestContentAwareOnePath(t *testing.T) {
+	clock := sim.NewClock(1)
+	only := netem.NewPath(clock, "only", netem.Constant(8e6), 10*time.Millisecond, 0)
+	c := NewContentAware(clock, only)
+
+	done := 0
+	cb := func(d netem.Delivery, ok bool) {
+		if !d.OK {
+			t.Errorf("single-path delivery failed: %+v", d)
+		}
+		done++
+	}
+	c.Submit(mkReq(1, transport.ClassFoV, false, 5e5, time.Minute, cb))
+	c.Submit(mkReq(2, transport.ClassOOS, false, 5e5, time.Minute, cb))
+	clock.Run()
+	if done != 2 {
+		t.Fatalf("%d of 2 deliveries completed", done)
+	}
+	if only.BytesMoved() != 1e6 {
+		t.Fatalf("path moved %d bytes, want 1e6", only.BytesMoved())
+	}
+}

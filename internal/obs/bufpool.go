@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// BufferPool is a sync.Pool of byte buffers with hit/miss accounting —
+// the scratch-buffer seam of the allocation-light serve path (DESIGN.md
+// "Memory discipline"). Borrowers Get a *[]byte, build into
+// `(*buf)[:0]`, store the grown slice back through the pointer, and Put
+// the pointer before returning; the pointer indirection keeps Get and
+// Put themselves allocation-free. Ownership is strictly scoped: a
+// buffer must be Put by the same function that borrowed it (the
+// bufownership checker of internal/vet enforces this), and nothing
+// reachable after Put may alias it.
+//
+// A nil *BufferPool is the disabled pool: Get hands out fresh buffers
+// and Put drops them, so callers never need a nil check.
+type BufferPool struct {
+	pool   sync.Pool
+	maxCap int
+	hits   *Counter
+	misses *Counter
+}
+
+// NewBufferPool builds a pool registering <prefix>.pool_hits and
+// <prefix>.pool_misses on r (a nil registry disables the counters, not
+// the pool). Buffers whose capacity grew past maxCap are dropped on
+// Put so one oversized body cannot pin memory forever; maxCap <= 0
+// means unlimited.
+func NewBufferPool(r *Registry, prefix string, maxCap int) *BufferPool {
+	return &BufferPool{
+		maxCap: maxCap,
+		hits:   r.Counter(prefix + ".pool_hits"),
+		misses: r.Counter(prefix + ".pool_misses"),
+	}
+}
+
+// Get returns a pointer to a zero-length buffer, recycling a previously
+// Put one when available (a pool hit) and minting a fresh pointer
+// otherwise (a miss).
+func (p *BufferPool) Get() *[]byte {
+	if p == nil {
+		return new([]byte)
+	}
+	if v := p.pool.Get(); v != nil {
+		p.hits.Inc()
+		return v.(*[]byte)
+	}
+	p.misses.Inc()
+	return new([]byte)
+}
+
+// Put recycles a buffer obtained from Get. The caller must not touch
+// the pointer or any slice aliasing it afterwards.
+func (p *BufferPool) Put(buf *[]byte) {
+	if p == nil || buf == nil {
+		return
+	}
+	if p.maxCap > 0 && cap(*buf) > p.maxCap {
+		return
+	}
+	*buf = (*buf)[:0]
+	p.pool.Put(buf)
+}

@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+func TestBufferPoolRecyclesAndCounts(t *testing.T) {
+	r := NewRegistry()
+	p := NewBufferPool(r, "test", 1<<10)
+
+	b := p.Get()
+	if len(*b) != 0 {
+		t.Fatalf("fresh buffer has len %d", len(*b))
+	}
+	*b = append(*b, 1, 2, 3)
+	p.Put(b)
+
+	b2 := p.Get()
+	if len(*b2) != 0 {
+		t.Fatalf("recycled buffer not trimmed: len %d", len(*b2))
+	}
+	if r.Counter("test.pool_misses").Value() != 1 || r.Counter("test.pool_hits").Value() != 1 {
+		t.Fatalf("counters: misses=%d hits=%d, want 1/1",
+			r.Counter("test.pool_misses").Value(), r.Counter("test.pool_hits").Value())
+	}
+}
+
+func TestBufferPoolDropsOversized(t *testing.T) {
+	r := NewRegistry()
+	p := NewBufferPool(r, "test", 64)
+	b := p.Get()
+	*b = make([]byte, 0, 128) // grew past maxCap
+	p.Put(b)
+	p.Get()
+	if got := r.Counter("test.pool_misses").Value(); got != 2 {
+		t.Fatalf("oversized buffer was recycled: misses = %d, want 2", got)
+	}
+}
+
+func TestBufferPoolNilSafe(t *testing.T) {
+	var p *BufferPool
+	b := p.Get()
+	if b == nil || len(*b) != 0 {
+		t.Fatal("nil pool must mint fresh buffers")
+	}
+	p.Put(b)   // must not panic
+	p.Put(nil) // must not panic
+	var q = NewBufferPool(nil, "x", 0)
+	q.Put(q.Get()) // nil registry: counters no-op, pool still works
+}
+
+// TestBufferPoolGetPutZeroAlloc pins the reason the pool traffics in
+// *[]byte: the Get/Put round trip itself must not allocate (interface
+// boxing of a plain []byte would).
+func TestBufferPoolGetPutZeroAlloc(t *testing.T) {
+	p := NewBufferPool(nil, "x", 0)
+	seed := p.Get()
+	*seed = make([]byte, 0, 64)
+	p.Put(seed)
+	allocs := testing.AllocsPerRun(100, func() {
+		b := p.Get()
+		*b = append(*b, 0xaa)
+		p.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get/Put round trip: %v allocs/op, want 0", allocs)
+	}
+}

@@ -8,19 +8,20 @@ import (
 )
 
 // NewCatalogStore builds a Store whose miss path synthesizes chunk
-// bodies from a dash catalog with dash.BuildChunkBody — the exact bytes
-// the per-request path would produce. Wire it under a server with
-// dash.WithStore:
+// bodies from a dash catalog with dash.AppendChunkBody — the exact
+// bytes the per-request path would produce, built into the store's
+// pooled scratch so a miss allocates only the sealed cache copy. Wire
+// it under a server with dash.WithStore:
 //
 //	store := serve.NewCatalogStore(catalog, serve.StoreConfig{BudgetBytes: 256 << 20})
 //	srv := dash.NewServer(catalog, dash.WithStore(store))
 func NewCatalogStore(cat *dash.Catalog, cfg StoreConfig) *Store {
-	return NewStore(func(key ChunkKey) ([]byte, error) {
+	return NewAppendStore(func(dst []byte, key ChunkKey) ([]byte, error) {
 		v, ok := cat.Get(key.Video)
 		if !ok {
-			return nil, fmt.Errorf("serve: video %q not in catalog", key.Video)
+			return dst, fmt.Errorf("serve: video %q not in catalog", key.Video)
 		}
-		return dash.BuildChunkBody(v, key.Quality, key.Tile, key.Index, key.Layer)
+		return dash.AppendChunkBody(dst, v, key.Quality, key.Tile, key.Index, key.Layer)
 	}, cfg)
 }
 

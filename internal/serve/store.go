@@ -6,7 +6,10 @@
 //     keyed by FNV-1a of (video, quality, tile, layer, index), each with
 //     its own LRU list and a slice of the global byte budget, plus
 //     singleflight de-duplication so a thundering herd of cold requests
-//     for the same chunk synthesizes its body exactly once.
+//     for the same chunk synthesizes its body exactly once. Cached
+//     bodies are sealed exact-size copies served read-only; misses can
+//     build through pooled scratch (NewAppendStore) so the cold path
+//     allocates only what the cache retains.
 //
 //   - Engine, a worker-pool session driver: K simulated viewers (each a
 //     core.Session, optionally doubled by a dash.Client fetching the
@@ -78,8 +81,17 @@ func (k ChunkKey) hash() uint64 {
 
 // Synth produces a chunk body for a key on a cache miss. It must be
 // pure: the same key always yields the same bytes, so a cached body is
-// indistinguishable from a fresh one.
+// indistinguishable from a fresh one. The store seals the result into
+// an exact-size private copy before caching, so a Synth may retain or
+// reuse the slice it returned.
 type Synth func(key ChunkKey) ([]byte, error)
+
+// AppendSynth is the allocation-light miss path: it appends the chunk
+// body for key to dst (typically pooled scratch owned by the store) and
+// returns the extended slice, or dst unchanged on error. Like Synth it
+// must be pure. The store copies the built bytes out of dst before
+// reusing it, so implementations need no defensive copies.
+type AppendSynth func(dst []byte, key ChunkKey) ([]byte, error)
 
 // StoreConfig tunes a Store. The zero value gives 16 shards and a
 // 256 MiB budget with no metrics.
@@ -134,19 +146,44 @@ type storeMetrics struct {
 
 // Store is the sharded chunk cache. Safe for concurrent use. Bodies
 // returned by Get are shared with the cache and must be treated as
-// read-only.
+// read-only (see Get for the exact contract).
 type Store struct {
 	shards []*shard
 	mask   uint64
 	synth  Synth
-	met    storeMetrics
+	// appendSynth, when set, replaces synth: misses build into pooled
+	// scratch and only the sealed copy survives the synthesis.
+	appendSynth AppendSynth
+	// scratch recycles miss-path build buffers
+	// (serve.store.pool_hits / pool_misses).
+	scratch *obs.BufferPool
+	met     storeMetrics
 }
+
+// maxPooledScratch caps recycled scratch capacity; larger buffers are
+// dropped on Put instead of pinning memory.
+const maxPooledScratch = 8 << 20
 
 // NewStore builds a store over a synthesis function.
 func NewStore(synth Synth, cfg StoreConfig) *Store {
 	if synth == nil {
 		panic("serve: NewStore needs a Synth")
 	}
+	return newStore(synth, nil, cfg)
+}
+
+// NewAppendStore builds a store over an appending synthesis function:
+// cache misses build into a pooled scratch buffer and seal an
+// exact-size immutable copy into the cache, so the steady-state cold
+// path allocates only the bytes that are actually retained.
+func NewAppendStore(synth AppendSynth, cfg StoreConfig) *Store {
+	if synth == nil {
+		panic("serve: NewAppendStore needs an AppendSynth")
+	}
+	return newStore(nil, synth, cfg)
+}
+
+func newStore(synth Synth, appendSynth AppendSynth, cfg StoreConfig) *Store {
 	n := cfg.Shards
 	if n <= 0 {
 		n = 16
@@ -165,9 +202,10 @@ func NewStore(synth Synth, cfg StoreConfig) *Store {
 		per = 1
 	}
 	s := &Store{
-		shards: make([]*shard, p),
-		mask:   uint64(p - 1),
-		synth:  synth,
+		shards:      make([]*shard, p),
+		mask:        uint64(p - 1),
+		synth:       synth,
+		appendSynth: appendSynth,
 		met: storeMetrics{
 			hits:        cfg.Obs.Counter("serve.store.hits"),
 			misses:      cfg.Obs.Counter("serve.store.misses"),
@@ -176,6 +214,9 @@ func NewStore(synth Synth, cfg StoreConfig) *Store {
 			shared:      cfg.Obs.Counter("serve.store.singleflight_shared"),
 			bytes:       cfg.Obs.Gauge("serve.store.bytes"),
 		},
+	}
+	if appendSynth != nil {
+		s.scratch = obs.NewBufferPool(cfg.Obs, "serve.store", maxPooledScratch)
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -195,7 +236,16 @@ func (s *Store) shard(k ChunkKey) *shard { return s.shards[k.hash()&s.mask] }
 // Get returns the body for key, synthesizing it on a miss. Concurrent
 // callers for the same cold key share one synthesis (singleflight); the
 // non-leading callers block until the leader finishes or their context
-// expires. The returned slice is shared with the cache: read-only.
+// expires.
+//
+// Immutability contract: the returned slice is the cache's own sealed
+// copy, shared by every caller that asks for the same key — it is
+// strictly read-only. Callers must not write through it, reslice it
+// beyond its length, or append to it in place; mutating it corrupts
+// the body every later viewer receives. The store seals bodies as
+// exact-size copies (len == cap), so an accidental append reallocates
+// instead of scribbling on cached bytes, and pooled scratch used
+// during synthesis never aliases what Get returns.
 func (s *Store) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -224,7 +274,7 @@ func (s *Store) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
 	sh.mu.Unlock()
 
 	s.met.misses.Inc()
-	fl.body, fl.err = s.synth(key)
+	fl.body, fl.err = s.synthesize(key)
 
 	sh.mu.Lock()
 	delete(sh.inflight, key)
@@ -234,6 +284,38 @@ func (s *Store) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
 	sh.mu.Unlock()
 	close(fl.done)
 	return fl.body, fl.err
+}
+
+// synthesize runs the miss path and seals the result: the body handed
+// to callers and to insertLocked is always a private exact-size copy
+// (len == cap), never the synth's own slice or pooled scratch. The
+// append path builds into recycled scratch so the only per-miss
+// allocation that survives is the sealed copy itself.
+func (s *Store) synthesize(key ChunkKey) ([]byte, error) {
+	if s.appendSynth == nil {
+		body, err := s.synth(key)
+		if err != nil {
+			return nil, err
+		}
+		return seal(body), nil
+	}
+	scratch := s.scratch.Get()
+	built, err := s.appendSynth((*scratch)[:0], key)
+	*scratch = built[:0]
+	if err != nil {
+		s.scratch.Put(scratch)
+		return nil, err
+	}
+	sealed := seal(built)
+	s.scratch.Put(scratch)
+	return sealed, nil
+}
+
+// seal copies b into an exactly-sized slice (len == cap).
+func seal(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
 }
 
 // insertLocked caches a freshly synthesized body, evicting the shard's

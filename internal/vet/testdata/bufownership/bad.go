@@ -1,0 +1,36 @@
+//sperke:fixture path=internal/dash/bad.go
+
+package dash
+
+type pool struct{}
+
+func (pool) Get() *[]byte   { return new([]byte) }
+func (pool) Put(b *[]byte)  {}
+func (pool) Lookup() []byte { return nil }
+
+type server struct {
+	scratch pool
+	tiles   pool
+}
+
+// leakToCache borrows a scratch buffer and stores it instead of
+// returning it to the pool: the cache now aliases memory the pool will
+// recycle under the next borrower.
+func (s *server) leakToCache(cache map[string][]byte, key string) {
+	buf := s.scratch.Get()
+	cache[key] = *buf
+}
+
+// mismatchedPools returns the buffer to the wrong pool: s.scratch is
+// never repaid.
+func (s *server) mismatchedPools() {
+	buf := s.scratch.Get()
+	defer s.tiles.Put(buf)
+	_ = buf
+}
+
+// localPool forgets the Put on a plain local too.
+func localPool(bufPool pool) []byte {
+	b := bufPool.Get()
+	return append((*b)[:0], 'x')
+}

@@ -1,0 +1,46 @@
+//sperke:fixture path=internal/dash/clean.go
+
+package dash
+
+type pool struct{}
+
+func (pool) Get() *[]byte  { return new([]byte) }
+func (pool) Put(b *[]byte) {}
+
+type cache struct{}
+
+func (cache) Get(key string) []byte { return nil }
+
+type server struct {
+	scratch pool
+	bodies  cache
+}
+
+// deferredReturn is the blessed shape: borrow, defer the repayment,
+// hand out only what the caller owns.
+func (s *server) deferredReturn() []byte {
+	scratch := s.scratch.Get()
+	defer s.scratch.Put(scratch)
+	body := append((*scratch)[:0], 'x')
+	*scratch = body
+	out := make([]byte, len(body))
+	copy(out, body)
+	return out
+}
+
+// branchedReturn repays on every path, without defer.
+func (s *server) branchedReturn(fail bool) error {
+	scratch := s.scratch.Get()
+	if fail {
+		s.scratch.Put(scratch)
+		return nil
+	}
+	s.scratch.Put(scratch)
+	return nil
+}
+
+// cacheLookup uses a Get that is not a pool borrow: the receiver chain
+// does not name a pool, and the call takes a key.
+func (s *server) cacheLookup(key string) []byte {
+	return s.bodies.Get(key)
+}

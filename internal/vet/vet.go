@@ -101,6 +101,7 @@ func Analyzers() []*Analyzer {
 		ErrTaxonomy,
 		ObsDiscipline,
 		MapOrder,
+		BufOwnership,
 	}
 }
 
