@@ -10,6 +10,8 @@
 //	sperke-loadgen -sessions 32 -workers 8
 //	sperke-loadgen -url http://host:8360  # aim at an external origin
 //	sperke-loadgen -no-http             # pure simulation, no HTTP leg
+//	sperke-loadgen -nodes 3             # edge/origin cluster topology
+//	sperke-loadgen -nodes 3 -kill-at 10s -recover-at 20s  # chaos run
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"sperke/internal/cluster"
 	"sperke/internal/core"
 	"sperke/internal/dash"
 	"sperke/internal/media"
@@ -50,6 +53,10 @@ func run() error {
 	storeMB := flag.Int("store-budget-mb", 256, "in-process store byte budget in MiB")
 	storeShards := flag.Int("store-shards", 16, "in-process store shard count")
 	agnostic := flag.Bool("agnostic", false, "stream FoV-agnostic instead of FoV-guided")
+	nodes := flag.Int("nodes", 0, "edge nodes in front of the origin (0 = no cluster tier)")
+	killAt := flag.Duration("kill-at", 0, "crash -kill-node this long into the run (0 = never)")
+	recoverAt := flag.Duration("recover-at", 0, "restart the killed node this long into the run (0 = never)")
+	killNode := flag.String("kill-node", "edge-1", "cluster node to crash at -kill-at")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,6 +75,7 @@ func run() error {
 
 	var client *dash.Client
 	var store *serve.Store
+	var clu *cluster.Cluster
 	if !*noHTTP {
 		base := *url
 		if base == "" {
@@ -80,17 +88,55 @@ func run() error {
 				BudgetBytes: int64(*storeMB) << 20,
 				Obs:         reg,
 			})
-			srv := dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(store))
+			var handler http.Handler
+			if *nodes > 0 {
+				// Cluster topology: N edge caches rendezvous-route in front
+				// of the catalog store, which becomes the origin tier.
+				var err error
+				clu, err = cluster.New(cluster.Config{
+					Nodes:           *nodes,
+					Origin:          store,
+					Catalog:         catalog,
+					NodeShards:      *storeShards,
+					NodeBudgetBytes: int64(*storeMB) << 20 / int64(*nodes),
+					Obs:             reg,
+				})
+				if err != nil {
+					return err
+				}
+				clu.StartProbes(ctx)
+				handler = clu.FrontDoor()
+				if *killAt > 0 {
+					name := *killNode
+					time.AfterFunc(*killAt, func() {
+						fmt.Printf("!! killing %s at +%v\n", name, *killAt)
+						clu.KillNode(name)
+					})
+					if *recoverAt > *killAt {
+						time.AfterFunc(*recoverAt, func() {
+							fmt.Printf("!! recovering %s at +%v\n", name, *recoverAt)
+							clu.RecoverNode(name)
+						})
+					}
+				}
+			} else {
+				handler = dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(store))
+			}
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				return err
 			}
-			httpSrv := &http.Server{Handler: srv}
+			httpSrv := &http.Server{Handler: handler}
 			go httpSrv.Serve(ln)
 			defer httpSrv.Close()
 			base = "http://" + ln.Addr().String()
-			fmt.Printf("in-process origin at %s (%d shards, %d MiB budget)\n",
-				base, store.Shards(), *storeMB)
+			if clu != nil {
+				fmt.Printf("in-process %d-edge cluster at %s (origin: %d shards, %d MiB budget)\n",
+					*nodes, base, store.Shards(), *storeMB)
+			} else {
+				fmt.Printf("in-process origin at %s (%d shards, %d MiB budget)\n",
+					base, store.Shards(), *storeMB)
+			}
 		}
 		client = dash.NewClient(base)
 		client.Obs = reg
@@ -143,7 +189,34 @@ func run() error {
 			hits, misses, shared, reg.Counter("serve.store.evictions").Value(),
 			float64(store.Bytes())/1e6)
 	}
+	if clu != nil {
+		printClusterSummary(clu, reg)
+	}
 	return nil
+}
+
+func printClusterSummary(clu *cluster.Cluster, reg *obs.Registry) {
+	req, fetches := clu.OffloadCounts()
+	fmt.Printf("  cluster: %d requests, %d reroutes, %d sheds, %d origin fallbacks, offload %.1f%%\n",
+		req,
+		reg.Counter("cluster.reroutes").Value(),
+		reg.Counter("cluster.sheds").Value(),
+		reg.Counter("cluster.origin_fallbacks").Value(),
+		float64(reg.Gauge("cluster.origin_offload_ratio").Value())/100)
+	fmt.Printf("    health: %d down transitions, %d up transitions; origin fetches %d\n",
+		reg.Counter("cluster.health.down_transitions").Value(),
+		reg.Counter("cluster.health.up_transitions").Value(),
+		fetches)
+	for _, n := range clu.Nodes() {
+		state := "up"
+		if n.Down() {
+			state = "down"
+		}
+		fmt.Printf("    %s [%s]: %d hits, %d misses, %d sheds, %.1f MB cached\n",
+			n.ID(), state, n.Hits(), n.Misses(),
+			reg.Counter("cluster.node."+n.ID()+".sheds").Value(),
+			float64(n.Store().Bytes())/1e6)
+	}
 }
 
 func effectiveWorkers(w, sessions int) int {

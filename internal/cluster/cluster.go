@@ -1,0 +1,304 @@
+// Package cluster runs N in-process edge nodes — each a serve.Store +
+// dash.Server pair — in front of one origin ChunkSource, with chunk
+// keys routed by rendezvous hashing so membership changes move only
+// the dead node's keys. A router health layer combines periodic probes
+// with passive per-request error accounting to declare nodes down and
+// up, failing requests over to the next-ranked live edge and, when no
+// edge can serve, to the origin. Each edge bounds its in-flight work
+// and sheds the excess with 503+Retry-After rather than queueing into
+// collapse; shed requests go straight to the origin instead of the
+// next edge, so one hot node's overflow cannot cascade through its
+// peers. Node crashes and recoveries can be scripted through
+// faults.Plan node-outage events (Cluster implements
+// faults.NodeTarget).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/obs"
+	"sperke/internal/serve"
+)
+
+// Config sizes a cluster. Zero values mean defaults; only Origin is
+// required.
+type Config struct {
+	// Nodes is the edge count; 0 defaults to 3.
+	Nodes int
+	// Origin is the authoritative ChunkSource every edge cache pulls
+	// misses from. Required.
+	Origin dash.ChunkSource
+	// Catalog, when set, gives every node (and the front door) its own
+	// dash.Server so the cluster can be driven over HTTP.
+	Catalog *dash.Catalog
+	// NodeBudgetBytes caps each edge cache; 0 defaults to 64 MiB.
+	NodeBudgetBytes int64
+	// NodeShards sets each edge store's shard count; 0 defaults to 8.
+	NodeShards int
+	// MaxInFlight bounds concurrent admitted requests per edge; beyond
+	// it the edge sheds with 503+Retry-After. 0 defaults to 256.
+	MaxInFlight int
+	// RetryAfter is the backoff hint attached to sheds; 0 defaults to 1s.
+	RetryAfter time.Duration
+	// Health tunes the failure detector (see HealthConfig).
+	Health HealthConfig
+	// Clock drives breaker cooldowns and probe pacing: *sim.Clock for
+	// deterministic tests, nil for a fresh obs.NewWall().
+	Clock obs.Clock
+	// Obs receives cluster.* instruments; nil creates a private registry.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Origin == nil {
+		return c, errors.New("cluster: Config.Origin is required")
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.NodeBudgetBytes <= 0 {
+		c.NodeBudgetBytes = 64 << 20
+	}
+	if c.NodeShards <= 0 {
+		c.NodeShards = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = obs.NewWall()
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c, nil
+}
+
+// clusterMetrics caches the router's own instruments.
+type clusterMetrics struct {
+	requests        *obs.Counter // front-door chunk requests
+	reroutes        *obs.Counter // served by a non-primary edge
+	sheds           *obs.Counter // refused by an edge's admission guard
+	originFallbacks *obs.Counter // requests no edge served
+	originFetches   *obs.Counter // origin syntheses (fallbacks + edge misses)
+	offload         *obs.Gauge   // cluster.origin_offload_ratio, basis points
+}
+
+// Cluster is the router: it ranks edges per key, skips the ones the
+// health layer has declared down, and falls back to the origin when no
+// edge answers. It implements dash.ChunkSource (the front door) and
+// faults.NodeTarget (scripted outages).
+type Cluster struct {
+	nodes  []*Node
+	ids    []string
+	byID   map[string]*Node
+	origin dash.ChunkSource
+	front  *dash.Server
+	health *health
+
+	probeEvery time.Duration
+	clock      obs.Clock
+
+	met clusterMetrics
+	reg *obs.Registry
+}
+
+// New builds a cluster of cfg.Nodes edges named "edge-0" … "edge-N-1".
+func New(cfg Config) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	hcfg := cfg.Health.withDefaults()
+	c := &Cluster{
+		nodes:      make([]*Node, 0, cfg.Nodes),
+		ids:        make([]string, 0, cfg.Nodes),
+		byID:       make(map[string]*Node, cfg.Nodes),
+		origin:     cfg.Origin,
+		probeEvery: hcfg.ProbeInterval,
+		clock:      cfg.Clock,
+		reg:        cfg.Obs,
+		met: clusterMetrics{
+			requests:        cfg.Obs.Counter("cluster.requests"),
+			reroutes:        cfg.Obs.Counter("cluster.reroutes"),
+			sheds:           cfg.Obs.Counter("cluster.sheds"),
+			originFallbacks: cfg.Obs.Counter("cluster.origin_fallbacks"),
+			originFetches:   cfg.Obs.Counter("cluster.origin_fetches"),
+			offload:         cfg.Obs.Gauge("cluster.origin_offload_ratio"),
+		},
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("edge-%d", i)
+		n := newNode(id, cfg.Origin, cfg.Catalog, cfg.NodeShards,
+			cfg.NodeBudgetBytes, cfg.MaxInFlight, cfg.RetryAfter,
+			cfg.Obs, c.met.originFetches.Inc)
+		c.nodes = append(c.nodes, n)
+		c.ids = append(c.ids, id)
+		c.byID[id] = n
+	}
+	c.health = newHealth(hcfg, cfg.Clock, cfg.Obs, c.ids)
+	if cfg.Catalog != nil {
+		c.front = dash.NewServer(cfg.Catalog, dash.WithObs(cfg.Obs), dash.WithStore(c))
+	}
+	return c, nil
+}
+
+// Chunk implements dash.ChunkSource: route the key to its
+// rendezvous-ranked edges, skipping nodes the health layer holds down,
+// then fall back to the origin. An edge error feeds the passive side
+// of the failure detector and moves on to the next-ranked edge; an
+// edge shed breaks straight to the origin — the other edges are not
+// this key's owners and pushing overflow at them just spreads the
+// overload.
+func (c *Cluster) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	c.met.requests.Inc()
+	defer c.updateOffload()
+	key := serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer}
+	for rank, id := range Rank(key, c.ids) {
+		if !c.health.allow(id) {
+			continue
+		}
+		body, err := c.byID[id].Chunk(ctx, videoID, quality, tile, index, layer)
+		if err == nil {
+			c.health.observe(id, nil)
+			if rank > 0 {
+				c.met.reroutes.Inc()
+			}
+			return body, nil
+		}
+		if ctx.Err() != nil {
+			// The caller left; don't punish the node for it.
+			return nil, err
+		}
+		var oe *dash.OverloadError
+		if errors.As(err, &oe) {
+			c.met.sheds.Inc()
+			break
+		}
+		c.health.observe(id, err)
+	}
+	c.met.originFallbacks.Inc()
+	c.met.originFetches.Inc()
+	return c.origin.Chunk(ctx, videoID, quality, tile, index, layer)
+}
+
+// updateOffload republishes cluster.origin_offload_ratio: the fraction
+// of front-door requests the edge tier absorbed without an origin
+// synthesis, in basis points (10000 = full offload). Cumulative since
+// start; windowed readings come from OffloadCounts deltas.
+func (c *Cluster) updateOffload() {
+	req := c.met.requests.Value()
+	if req <= 0 {
+		return
+	}
+	fetches := c.met.originFetches.Value()
+	bp := (req - fetches) * 10000 / req
+	if bp < 0 {
+		bp = 0
+	}
+	c.met.offload.Set(bp)
+}
+
+// OffloadCounts returns the cumulative front-door request and origin
+// fetch counters, so callers can compute offload over a window by
+// differencing two snapshots.
+func (c *Cluster) OffloadCounts() (requests, originFetches int64) {
+	return c.met.requests.Value(), c.met.originFetches.Value()
+}
+
+// ProbeAll runs one active probe sweep: every node the detector lets
+// through gets a Ping, and the outcome feeds the same breakers as
+// passive traffic. Down nodes in cooldown are skipped; once the
+// cooldown passes the breaker admits trial probes, and ProbeSuccesses
+// clean ones in a row re-admit the node.
+func (c *Cluster) ProbeAll() {
+	for _, n := range c.nodes {
+		if !c.health.allow(n.ID()) {
+			continue
+		}
+		c.health.observe(n.ID(), n.Ping())
+	}
+}
+
+// StartProbes runs ProbeAll every Health.ProbeInterval until ctx is
+// done. It paces itself on the wall clock; deterministic tests call
+// ProbeAll directly from sim-clock callbacks instead.
+func (c *Cluster) StartProbes(ctx context.Context) {
+	go func() {
+		for {
+			if err := wallSleep(ctx, c.probeEvery); err != nil {
+				return
+			}
+			c.ProbeAll()
+		}
+	}()
+}
+
+// wallSleep blocks for d or until ctx is done. This is the cluster's
+// one real-time wait — probe pacing is inherently wall-clock — and the
+// clockhygiene allowlist names it so nothing else in the package grows
+// a timer.
+func wallSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// NodeNames implements faults.NodeTarget.
+func (c *Cluster) NodeNames() []string {
+	out := make([]string, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// KillNode implements faults.NodeTarget: crash the named node (cache
+// dropped, every request denied) until RecoverNode. Unknown names are
+// ignored so wildcard plans stay forgiving.
+func (c *Cluster) KillNode(name string) {
+	if n, ok := c.byID[name]; ok {
+		n.Kill()
+	}
+}
+
+// RecoverNode implements faults.NodeTarget: restart the named node
+// cold. The health layer still holds it down until probes or traffic
+// re-admit it.
+func (c *Cluster) RecoverNode(name string) {
+	if n, ok := c.byID[name]; ok {
+		n.Recover()
+	}
+}
+
+// Node returns the named edge, or nil.
+func (c *Cluster) Node(id string) *Node { return c.byID[id] }
+
+// Nodes returns the edges in id order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// FrontDoor returns the cluster's HTTP entry point: a dash.Server
+// whose chunk source is the router, so every request flows through
+// rendezvous routing, health checks and failover. Nil without a
+// catalog.
+func (c *Cluster) FrontDoor() http.Handler {
+	if c.front == nil {
+		return nil
+	}
+	return c.front
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/serve"
+	"sperke/internal/sim"
+)
+
+// originFunc adapts a key-level function into a dash.ChunkSource.
+type originFunc func(ctx context.Context, key serve.ChunkKey) ([]byte, error)
+
+func (f originFunc) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	return f(ctx, serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer})
+}
+
+func originBody(key serve.ChunkKey) []byte { return []byte("origin:" + key.String()) }
+
+// countingOrigin is a deterministic origin that counts synthesis calls.
+type countingOrigin struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (o *countingOrigin) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	o.mu.Lock()
+	o.calls++
+	o.mu.Unlock()
+	return originBody(serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer}), nil
+}
+
+func (o *countingOrigin) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+func fetchKey(t *testing.T, c *Cluster, key serve.ChunkKey) []byte {
+	t.Helper()
+	body, err := c.Chunk(context.Background(), key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+	if err != nil {
+		t.Fatalf("Chunk(%v): %v", key, err)
+	}
+	return body
+}
+
+func TestChunkRoutesToTopRankedNode(t *testing.T) {
+	origin := &countingOrigin{}
+	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(60)
+	for _, key := range keys {
+		got := fetchKey(t, c, key)
+		if string(got) != string(originBody(key)) {
+			t.Fatalf("key %v: body %q, want %q", key, got, originBody(key))
+		}
+	}
+	// Every key must live on exactly its rendezvous winner.
+	owned := 0
+	for _, key := range keys {
+		top := Rank(key, c.NodeNames())[0]
+		for _, n := range c.Nodes() {
+			if n.Store().Contains(key) != (n.ID() == top) {
+				t.Fatalf("key %v: cached on %s, rendezvous owner is %s", key, n.ID(), top)
+			}
+		}
+		owned++
+	}
+	if owned != len(keys) {
+		t.Fatalf("checked %d keys, want %d", owned, len(keys))
+	}
+	var reqs int64
+	for _, n := range c.Nodes() {
+		reqs += n.Requests()
+	}
+	if reqs != int64(len(keys)) {
+		t.Fatalf("nodes admitted %d requests, want %d", reqs, len(keys))
+	}
+	if c.met.reroutes.Value() != 0 {
+		t.Fatalf("reroutes = %d on a healthy cluster", c.met.reroutes.Value())
+	}
+}
+
+func TestChunkSecondFetchIsEdgeHit(t *testing.T) {
+	origin := &countingOrigin{}
+	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(30)
+	for _, key := range keys {
+		fetchKey(t, c, key)
+	}
+	cold := origin.count()
+	if cold != len(keys) {
+		t.Fatalf("cold pass hit the origin %d times, want %d", cold, len(keys))
+	}
+	for _, key := range keys {
+		fetchKey(t, c, key)
+	}
+	if origin.count() != cold {
+		t.Fatalf("warm pass hit the origin %d more times, want 0", origin.count()-cold)
+	}
+	if got := c.met.offload.Value(); got != 5000 {
+		// 60 requests, 30 origin fetches → 50.0% offload in basis points.
+		t.Fatalf("origin_offload_ratio = %d bp, want 5000", got)
+	}
+}
+
+func TestNodeShedsWhenSaturated(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocked := serve.ChunkKey{Video: "vid", Quality: 0, Tile: 0, Index: 0}
+	origin := originFunc(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
+		if key == blocked {
+			close(started)
+			<-release
+		}
+		return originBody(key), nil
+	})
+	c, err := New(Config{Nodes: 1, Origin: origin, MaxInFlight: 1,
+		RetryAfter: 3 * time.Second, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node("edge-0")
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.Chunk(context.Background(), blocked.Video, blocked.Quality, blocked.Tile, blocked.Index, blocked.Layer)
+		done <- err
+	}()
+	<-started
+	_, err = n.Chunk(context.Background(), "vid", 1, 1, 1, false)
+	var oe *dash.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("saturated node returned %v, want *dash.OverloadError", err)
+	}
+	if oe.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want the configured 3s", oe.RetryAfter)
+	}
+	if !errors.Is(err, dash.ErrUnavailable) {
+		t.Fatal("overload error does not match dash.ErrUnavailable")
+	}
+	if n.Requests() != 1 {
+		t.Fatalf("shed request counted as admitted: Requests = %d", n.Requests())
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("occupying request failed: %v", err)
+	}
+}
+
+func TestClusterShedGoesStraightToOrigin(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocked := serve.ChunkKey{Video: "vid", Quality: 0, Tile: 0, Index: 0}
+	origin := originFunc(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
+		if key == blocked {
+			close(started)
+			<-release
+		}
+		return originBody(key), nil
+	})
+	c, err := New(Config{Nodes: 1, Origin: origin, MaxInFlight: 1, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Chunk(context.Background(), blocked.Video, blocked.Quality, blocked.Tile, blocked.Index, blocked.Layer)
+		done <- err
+	}()
+	<-started
+	// The only edge is saturated: the router must absorb the shed at the
+	// origin rather than queueing or erroring.
+	other := serve.ChunkKey{Video: "vid", Quality: 1, Tile: 1, Index: 1}
+	body := fetchKey(t, c, other)
+	if string(body) != string(originBody(other)) {
+		t.Fatalf("shed fallback body %q, want %q", body, originBody(other))
+	}
+	if got := c.met.sheds.Value(); got != 1 {
+		t.Fatalf("cluster.sheds = %d, want 1", got)
+	}
+	if got := c.met.originFallbacks.Value(); got != 1 {
+		t.Fatalf("cluster.origin_fallbacks = %d, want 1", got)
+	}
+	// A shed is overload, not failure: the node must still be alive.
+	if got := c.reg.Gauge("cluster.health.edge-0.alive").Value(); got != 1 {
+		t.Fatalf("shedding node marked dead: alive = %d", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("occupying request failed: %v", err)
+	}
+}
+
+func TestKilledNodeFailsOverAndIsDeclaredDown(t *testing.T) {
+	origin := &countingOrigin{}
+	clock := sim.NewClock(1)
+	c, err := New(Config{Nodes: 3, Origin: origin, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(60)
+	// Pick a key owned by a known node, then kill that node.
+	key := keys[0]
+	ranked := Rank(key, c.NodeNames())
+	dead, second := ranked[0], ranked[1]
+	c.KillNode(dead)
+
+	for i := 1; i <= 3; i++ {
+		body := fetchKey(t, c, key)
+		if string(body) != string(originBody(key)) {
+			t.Fatalf("failover body %q, want %q", body, originBody(key))
+		}
+	}
+	if !c.Node(second).Store().Contains(key) {
+		t.Fatalf("failover did not land on next-ranked node %s", second)
+	}
+	if got := c.met.reroutes.Value(); got != 3 {
+		t.Fatalf("reroutes = %d, want 3", got)
+	}
+	// Three straight denials cross FailThreshold: the dead node is now
+	// declared down and requests stop knocking.
+	if got := c.Node(dead).met.denials.Value(); got != 3 {
+		t.Fatalf("down_denials = %d, want 3", got)
+	}
+	if got := c.reg.Counter("cluster.health.down_transitions").Value(); got != 1 {
+		t.Fatalf("down_transitions = %d, want 1", got)
+	}
+	if got := c.reg.Gauge("cluster.health." + dead + ".alive").Value(); got != 0 {
+		t.Fatalf("alive gauge for %s = %d, want 0", dead, got)
+	}
+	fetchKey(t, c, key)
+	if got := c.Node(dead).met.denials.Value(); got != 3 {
+		t.Fatalf("declared-down node still receives requests: denials = %d", got)
+	}
+}
+
+func TestKillDropsCacheAndRecoverComesBackCold(t *testing.T) {
+	origin := &countingOrigin{}
+	c, err := New(Config{Nodes: 1, Origin: origin, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := serve.ChunkKey{Video: "vid", Quality: 1, Tile: 2, Index: 3}
+	fetchKey(t, c, key)
+	n := c.Node("edge-0")
+	if !n.Store().Contains(key) {
+		t.Fatal("warm key not cached")
+	}
+	c.KillNode("edge-0")
+	if !n.Down() {
+		t.Fatal("KillNode did not crash the node")
+	}
+	c.RecoverNode("edge-0")
+	if n.Down() {
+		t.Fatal("RecoverNode did not restart the node")
+	}
+	if n.Store().Contains(key) {
+		t.Fatal("restarted node kept its cache; a crashed process comes back cold")
+	}
+}
+
+func TestProbesReadmitRecoveredNode(t *testing.T) {
+	origin := &countingOrigin{}
+	clock := sim.NewClock(1)
+	c, err := New(Config{Nodes: 2, Origin: origin, Clock: clock,
+		Health: HealthConfig{FailThreshold: 3, ProbeSuccesses: 2, Cooldown: 500 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillNode("edge-1")
+	// Three failed probe sweeps trip the detector.
+	for i := 0; i < 3; i++ {
+		c.ProbeAll()
+	}
+	if got := c.reg.Gauge("cluster.health.edge-1.alive").Value(); got != 0 {
+		t.Fatalf("killed node still alive after 3 failed probes")
+	}
+	c.RecoverNode("edge-1")
+	// Inside the cooldown the breaker admits nothing, recovered or not.
+	c.ProbeAll()
+	if got := c.reg.Gauge("cluster.health.edge-1.alive").Value(); got != 0 {
+		t.Fatal("node re-admitted during cooldown")
+	}
+	clock.RunUntil(clock.Now() + time.Second)
+	// Past the cooldown: ProbeSuccesses clean sweeps close the breaker.
+	c.ProbeAll()
+	if got := c.reg.Gauge("cluster.health.edge-1.alive").Value(); got != 0 {
+		t.Fatal("one probe success re-admitted the node; want two")
+	}
+	c.ProbeAll()
+	if got := c.reg.Gauge("cluster.health.edge-1.alive").Value(); got != 1 {
+		t.Fatal("recovered node not re-admitted after two clean probes")
+	}
+	if got := c.reg.Counter("cluster.health.up_transitions").Value(); got != 1 {
+		t.Fatalf("up_transitions = %d, want 1", got)
+	}
+}
+
+func TestConfigRequiresOrigin(t *testing.T) {
+	if _, err := New(Config{Nodes: 3}); err == nil {
+		t.Fatal("New accepted a config without an origin")
+	}
+}
+
+func TestCanceledContextDoesNotPunishNode(t *testing.T) {
+	origin := originFunc(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
+		return nil, ctx.Err()
+	})
+	c, err := New(Config{Nodes: 1, Origin: origin, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Chunk(ctx, "vid", 0, 0, i, false); err == nil {
+			t.Fatal("canceled fetch succeeded")
+		}
+	}
+	// Five canceled calls must not trip the caller's favorite node.
+	if got := c.reg.Gauge("cluster.health.edge-0.alive").Value(); got != 1 {
+		t.Fatal("canceled requests were counted as node failures")
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"sperke/internal/obs"
+	"sperke/internal/transport"
+)
+
+// HealthConfig tunes the router's failure detector. Zero values mean
+// defaults.
+type HealthConfig struct {
+	// FailThreshold consecutive failures — passive routed-request
+	// errors or failed active probes — declare a node down; 0 defaults
+	// to 3.
+	FailThreshold int
+	// ProbeSuccesses consecutive clean probes re-admit a down node; 0
+	// defaults to 2, so one lucky probe against a flapping node does
+	// not restore full traffic.
+	ProbeSuccesses int
+	// Cooldown is how long a down node is left alone before probes are
+	// allowed through again; 0 defaults to 500ms.
+	Cooldown time.Duration
+	// ProbeInterval paces StartProbes sweeps; 0 defaults to 250ms.
+	ProbeInterval time.Duration
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// health is the router's view of which edges can take traffic: one
+// transport.Breaker per node behind a mutex. The breaker is the repo's
+// existing failure-detection state machine — consecutive-failure trip,
+// cooldown, half-open probe admission — so the cluster reuses it
+// rather than growing a parallel one; the mutex is needed because the
+// breaker itself is documented single-owner and here every request
+// goroutine reports into it.
+type health struct {
+	mu       sync.Mutex
+	breakers map[string]*transport.Breaker
+	last     map[string]transport.BreakerState // last published state
+
+	alive map[string]*obs.Gauge
+	downs *obs.Counter
+	ups   *obs.Counter
+}
+
+// newHealth builds the detector with every node believed alive.
+func newHealth(cfg HealthConfig, clock transport.Clock, reg *obs.Registry, ids []string) *health {
+	cfg = cfg.withDefaults()
+	h := &health{
+		breakers: make(map[string]*transport.Breaker, len(ids)),
+		last:     make(map[string]transport.BreakerState, len(ids)),
+		alive:    make(map[string]*obs.Gauge, len(ids)),
+		downs:    reg.Counter("cluster.health.down_transitions"),
+		ups:      reg.Counter("cluster.health.up_transitions"),
+	}
+	for _, id := range ids {
+		h.breakers[id] = transport.NewBreaker(clock, transport.BreakerConfig{
+			FailureThreshold: cfg.FailThreshold,
+			Cooldown:         cfg.Cooldown,
+			ProbeSuccesses:   cfg.ProbeSuccesses,
+		})
+		g := reg.Gauge("cluster.health." + id + ".alive")
+		g.Set(1)
+		h.alive[id] = g
+	}
+	return h
+}
+
+// allow reports whether a request (or probe) may be sent to the node
+// right now: always while believed alive, never during a down node's
+// cooldown, one trial at a time once the cooldown passes.
+func (h *health) allow(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.breakers[id]
+	if b == nil {
+		return false
+	}
+	ok := b.Allow()
+	h.publishLocked(id)
+	return ok
+}
+
+// observe feeds one request or probe outcome into the node's breaker.
+func (h *health) observe(id string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.breakers[id]
+	if b == nil {
+		return
+	}
+	if err != nil {
+		b.OnFailure()
+	} else {
+		b.OnSuccess()
+	}
+	h.publishLocked(id)
+}
+
+// state reports the node's current breaker state.
+func (h *health) state(id string) transport.BreakerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.breakers[id]
+	if b == nil {
+		return transport.BreakerOpen
+	}
+	s := b.State()
+	h.publishLocked(id)
+	return s
+}
+
+// publishLocked mirrors breaker transitions into the cluster.health.*
+// instruments: down on entering Open, up on returning to Closed. The
+// half-open window keeps the alive gauge at 0 — the node is a suspect
+// on trial, not a member in good standing.
+func (h *health) publishLocked(id string) {
+	s := h.breakers[id].State()
+	prev, seen := h.last[id]
+	if seen && s == prev {
+		return
+	}
+	h.last[id] = s
+	switch {
+	case s == transport.BreakerOpen:
+		h.alive[id].Set(0)
+		// Re-opening from a failed half-open probe is the same outage
+		// continuing, not a new down transition.
+		if !seen || prev == transport.BreakerClosed {
+			h.downs.Inc()
+		}
+	case s == transport.BreakerClosed && seen && prev != transport.BreakerClosed:
+		h.ups.Inc()
+		h.alive[id].Set(1)
+	}
+}

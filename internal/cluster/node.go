@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sperke/internal/dash"
+	"sperke/internal/obs"
+	"sperke/internal/serve"
+)
+
+// ErrNodeDown is the in-process stand-in for connection-refused: the
+// node crashed (KillNode / a faults node-outage event) and answers
+// nothing until it recovers. It wraps dash.ErrUnavailable so a node
+// served directly over HTTP maps it to 503.
+var ErrNodeDown = fmt.Errorf("cluster: node down: %w", dash.ErrUnavailable)
+
+// Node is one edge of the cluster: a serve.Store + dash.Server pair
+// fronting the shared origin. The store gives the node its own LRU
+// cache with singleflight miss coalescing — a re-routed cold herd for
+// one key costs the origin one synthesis — and the admission guard
+// bounds in-flight work, shedding the excess with 503+Retry-After so a
+// cascade from a failed peer is shed, not amplified.
+type Node struct {
+	id     string
+	store  *serve.Store
+	server *dash.Server
+
+	down        atomic.Bool
+	inflight    atomic.Int64
+	maxInFlight int64
+	retryAfter  time.Duration
+
+	met nodeMetrics
+}
+
+// nodeMetrics caches the node's instruments; nil fields no-op.
+type nodeMetrics struct {
+	requests *obs.Counter // admitted chunk requests
+	misses   *obs.Counter // cache misses = origin fetches from this node
+	sheds    *obs.Counter // requests refused by the admission guard
+	denials  *obs.Counter // requests refused because the node is down
+	up       *obs.Gauge   // 1 while the node process is alive
+}
+
+// newNode wires one edge. onOriginFetch (may be nil) is called once
+// per cache miss, before the origin synthesis runs — the cluster's
+// origin-offload accounting hangs off it.
+func newNode(id string, origin dash.ChunkSource, catalog *dash.Catalog,
+	shards int, budget int64, maxInFlight int, retryAfter time.Duration,
+	reg *obs.Registry, onOriginFetch func()) *Node {
+	n := &Node{
+		id:          id,
+		maxInFlight: int64(maxInFlight),
+		retryAfter:  retryAfter,
+		met: nodeMetrics{
+			requests: reg.Counter("cluster.node." + id + ".requests"),
+			misses:   reg.Counter("cluster.node." + id + ".misses"),
+			sheds:    reg.Counter("cluster.node." + id + ".sheds"),
+			denials:  reg.Counter("cluster.node." + id + ".down_denials"),
+			up:       reg.Gauge("cluster.node." + id + ".up"),
+		},
+	}
+	n.met.up.Set(1)
+	// The miss path pulls from the origin under context.Background: a
+	// singleflight leader synthesizes for every waiter sharing the
+	// flight, so tying the pull to one caller's context would let that
+	// caller's departure poison everyone else's body.
+	n.store = serve.NewStore(func(key serve.ChunkKey) ([]byte, error) {
+		n.met.misses.Inc()
+		if onOriginFetch != nil {
+			onOriginFetch()
+		}
+		return origin.Chunk(context.Background(), key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+	}, serve.StoreConfig{Shards: shards, BudgetBytes: budget})
+	if catalog != nil {
+		n.server = dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(n))
+	}
+	return n
+}
+
+// ID returns the node's name ("edge-0", "edge-1", …).
+func (n *Node) ID() string { return n.id }
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down.Load() }
+
+// Kill crashes the node: its cache is dropped (a restarted process
+// comes back cold) and every request or probe fails with ErrNodeDown
+// until Recover. Idempotent.
+func (n *Node) Kill() {
+	if n.down.Swap(true) {
+		return
+	}
+	n.met.up.Set(0)
+	n.store.Reset()
+}
+
+// Recover restarts a killed node (cold — Kill dropped the cache).
+// Idempotent.
+func (n *Node) Recover() {
+	if !n.down.Swap(false) {
+		return
+	}
+	n.met.up.Set(1)
+}
+
+// Ping is the active health probe: nil iff the node can take traffic.
+// It deliberately ignores load — an overloaded node is alive, and
+// declaring it dead would amplify the cascade shedding exists to stop.
+func (n *Node) Ping() error {
+	if n.down.Load() {
+		return fmt.Errorf("cluster: probe %s: %w", n.id, ErrNodeDown)
+	}
+	return nil
+}
+
+// Chunk implements dash.ChunkSource. A down node fails immediately
+// with ErrNodeDown; a saturated one sheds with *dash.OverloadError
+// before touching the store, so the refusal costs almost nothing.
+func (n *Node) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	if n.down.Load() {
+		n.met.denials.Inc()
+		return nil, fmt.Errorf("cluster: %s: %w", n.id, ErrNodeDown)
+	}
+	if cur := n.inflight.Add(1); cur > n.maxInFlight {
+		n.inflight.Add(-1)
+		n.met.sheds.Inc()
+		return nil, &dash.OverloadError{RetryAfter: n.retryAfter}
+	}
+	defer n.inflight.Add(-1)
+	n.met.requests.Inc()
+	return n.store.Get(ctx, serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer})
+}
+
+// Handler returns the node's own dash.Server — the edge as an HTTP
+// process, overload and down semantics included (503+Retry-After).
+// Nil when the cluster was built without a catalog.
+func (n *Node) Handler() http.Handler {
+	if n.server == nil {
+		return nil
+	}
+	return n.server
+}
+
+// Store exposes the node's chunk store for inspection.
+func (n *Node) Store() *serve.Store { return n.store }
+
+// Requests, Misses and Hits report the node's admitted requests, cache
+// misses (each one an origin fetch) and the difference — the per-node
+// hit/miss accounting routing assertions key off.
+func (n *Node) Requests() int64 { return n.met.requests.Value() }
+
+// Misses reports the node's cache misses (origin fetches).
+func (n *Node) Misses() int64 { return n.met.misses.Value() }
+
+// Hits reports requests served without an origin fetch (singleflight
+// waiters count as hits: they were served by a peer's synthesis).
+func (n *Node) Hits() int64 { return n.Requests() - n.Misses() }
+
+// InFlight reports the admission guard's current occupancy.
+func (n *Node) InFlight() int64 { return n.inflight.Load() }

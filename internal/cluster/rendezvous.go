@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"sort"
+
+	"sperke/internal/serve"
+)
+
+// rendezvousScore folds one node name and one chunk key through FNV-1a
+// into the node's weight for that key. Highest-random-weight routing
+// falls out: every router computes the same scores, so placement needs
+// no coordination, and removing a node from the live set disturbs only
+// the keys that node was winning — every other key keeps its champion.
+func rendezvousScore(node string, key serve.ChunkKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < len(node); i++ {
+		step(node[i])
+	}
+	step(0xff) // separator: ("ab","c…") must not collide with ("a","bc…")
+	for i := 0; i < len(key.Video); i++ {
+		step(key.Video[i])
+	}
+	for _, v := range [3]int{key.Quality, key.Tile, key.Index} {
+		u := uint64(v)
+		for s := 0; s < 64; s += 8 {
+			step(byte(u >> s))
+		}
+	}
+	if key.Layer {
+		step(1)
+	} else {
+		step(0)
+	}
+	return h
+}
+
+// Rank orders nodes for key by rendezvous (highest-random-weight)
+// hashing, best first. The ranking is a pure function of (key, node
+// set): independent of the input order, stable across processes, and
+// minimal-movement under membership change — dropping one node from
+// the set promotes each of its keys to that key's next-ranked node and
+// moves nothing else. Ties (astronomically unlikely with 64-bit
+// scores) break by name so the order stays total.
+func Rank(key serve.ChunkKey, nodes []string) []string {
+	type scored struct {
+		id string
+		s  uint64
+	}
+	ranked := make([]scored, len(nodes))
+	for i, id := range nodes {
+		ranked[i] = scored{id: id, s: rendezvousScore(id, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].s != ranked[j].s {
+			return ranked[i].s > ranked[j].s
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	out := make([]string, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.id
+	}
+	return out
+}

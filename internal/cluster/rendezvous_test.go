@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"sperke/internal/serve"
+)
+
+func testKeys(n int) []serve.ChunkKey {
+	keys := make([]serve.ChunkKey, n)
+	for i := range keys {
+		keys[i] = serve.ChunkKey{
+			Video:   "vid",
+			Quality: i % 3,
+			Tile:    i % 16,
+			Index:   i / 3,
+			Layer:   i%2 == 1,
+		}
+	}
+	return keys
+}
+
+func TestRankIsDeterministicAndOrderIndependent(t *testing.T) {
+	nodes := []string{"edge-0", "edge-1", "edge-2", "edge-3"}
+	shuffled := []string{"edge-3", "edge-1", "edge-0", "edge-2"}
+	for _, key := range testKeys(50) {
+		a := Rank(key, nodes)
+		b := Rank(key, shuffled)
+		c := Rank(key, nodes)
+		if len(a) != len(nodes) {
+			t.Fatalf("Rank returned %d nodes, want %d", len(a), len(nodes))
+		}
+		for i := range a {
+			if a[i] != b[i] || a[i] != c[i] {
+				t.Fatalf("key %v: rankings differ: %v vs %v vs %v", key, a, b, c)
+			}
+		}
+	}
+}
+
+func TestRankMinimalMovementOnMemberLoss(t *testing.T) {
+	nodes := []string{"edge-0", "edge-1", "edge-2", "edge-3", "edge-4"}
+	const dead = "edge-2"
+	survivors := make([]string, 0, len(nodes)-1)
+	for _, id := range nodes {
+		if id != dead {
+			survivors = append(survivors, id)
+		}
+	}
+	moved := 0
+	for _, key := range testKeys(500) {
+		before := Rank(key, nodes)
+		after := Rank(key, survivors)
+		if before[0] == dead {
+			// The dead node's keys — and only those — promote to their
+			// next-ranked survivor.
+			moved++
+			if after[0] != before[1] {
+				t.Fatalf("key %v: moved to %s, want next-ranked %s", key, after[0], before[1])
+			}
+			continue
+		}
+		if after[0] != before[0] {
+			t.Fatalf("key %v moved from %s to %s though %s was not its owner",
+				key, before[0], after[0], dead)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed node; the test asserted nothing")
+	}
+}
+
+func TestRankSpreadsKeys(t *testing.T) {
+	nodes := []string{"edge-0", "edge-1", "edge-2"}
+	counts := map[string]int{}
+	keys := testKeys(900)
+	for _, key := range keys {
+		counts[Rank(key, nodes)[0]]++
+	}
+	for _, id := range nodes {
+		// Perfect balance is 300 each; demand each node owns at least a
+		// third of its fair share so a broken hash fold shows up.
+		if counts[id] < len(keys)/9 {
+			t.Fatalf("node %s owns %d of %d keys; distribution collapsed: %v",
+				id, counts[id], len(keys), counts)
+		}
+	}
+}
+
+func TestRendezvousScoreSeparatesNodeAndKey(t *testing.T) {
+	// The separator byte keeps ("ab", video "c") and ("a", video "bc")
+	// from folding identically.
+	k1 := serve.ChunkKey{Video: "c"}
+	k2 := serve.ChunkKey{Video: "bc"}
+	if rendezvousScore("ab", k1) == rendezvousScore("a", k2) {
+		t.Fatal("node/key boundary collision")
+	}
+	if rendezvousScore("edge-0", k1) == rendezvousScore("edge-1", k1) {
+		t.Fatal("distinct nodes scored identically for one key")
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("edge-%d", i)
+	}
+	key := serve.ChunkKey{Video: "vid", Quality: 2, Tile: 7, Index: 123}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rank(key, nodes)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"sperke/internal/media"
@@ -180,11 +182,18 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		kind := KindFatal
+		var retryAfter time.Duration
 		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
 			kind = KindTransient
+			// A Retry-After on a shed response upgrades the classification:
+			// the server is alive but drowning, and told us when to come
+			// back.
+			if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+				kind, retryAfter = KindOverload, ra
+			}
 		}
 		return nil, &Error{
-			Op: path, Kind: kind, Status: resp.StatusCode,
+			Op: path, Kind: kind, Status: resp.StatusCode, RetryAfter: retryAfter,
 			Err: fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)),
 		}
 	}
@@ -213,12 +222,34 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 			return nil, attempt, derr
 		}
 		c.Obs.Counter("dash.client.retries").Inc()
-		if err := c.sleep(ctx, pol.backoff(attempt)); err != nil {
+		delay := pol.backoff(attempt)
+		if derr.Kind == KindOverload && derr.RetryAfter > delay {
+			// The shedding server named its price; pay it rather than
+			// hammering a node that is trying to drain.
+			delay = derr.RetryAfter
+			c.Obs.Counter("dash.client.retry_after_floors").Inc()
+		}
+		if err := c.sleep(ctx, delay); err != nil {
 			derr.Kind = KindCanceled
 			c.Obs.Counter("dash.client.errors." + derr.Kind.String()).Inc()
 			return nil, attempt, derr
 		}
 	}
+}
+
+// parseRetryAfter reads the integer-seconds form of a Retry-After
+// value. The HTTP-date form and garbage parse as 0 (no hint), which
+// keeps the response a plain transient failure.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // FetchMPD downloads and parses a video's manifest.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrorKind classifies a client failure so callers (and the client's
@@ -22,6 +23,10 @@ const (
 	// KindCanceled marks the caller's context expiring; the client stops
 	// retrying immediately.
 	KindCanceled
+	// KindOverload marks a 503/429 carrying a Retry-After hint: the
+	// server shed the request under load. Retryable, but the hint floors
+	// the backoff so shed requests do not hammer a recovering node.
+	KindOverload
 )
 
 func (k ErrorKind) String() string {
@@ -30,6 +35,8 @@ func (k ErrorKind) String() string {
 		return "transient"
 	case KindFatal:
 		return "fatal"
+	case KindOverload:
+		return "overload"
 	default:
 		return "canceled"
 	}
@@ -45,6 +52,10 @@ type Error struct {
 	Status int
 	// Attempts is how many tries the client made before giving up.
 	Attempts int
+	// RetryAfter is the server's Retry-After hint on a KindOverload
+	// failure (zero otherwise). The retry loop uses it as the backoff
+	// floor.
+	RetryAfter time.Duration
 	// Err is the underlying cause.
 	Err error
 }
@@ -63,7 +74,7 @@ func (e *Error) Error() string {
 func (e *Error) Unwrap() error { return e.Err }
 
 // Retryable reports whether another attempt could succeed.
-func (e *Error) Retryable() bool { return e.Kind == KindTransient }
+func (e *Error) Retryable() bool { return e.Kind == KindTransient || e.Kind == KindOverload }
 
 // Retryable reports whether err is a dash client failure another
 // attempt could fix.
@@ -71,6 +82,31 @@ func Retryable(err error) bool {
 	var de *Error
 	return errors.As(err, &de) && de.Retryable()
 }
+
+// ErrUnavailable marks a ChunkSource failure meaning "this server
+// cannot serve right now" — a crashed cluster node, a draining
+// process. The server maps anything wrapping it to 503 so resilient
+// clients retry elsewhere instead of treating it as a synthesis bug.
+var ErrUnavailable = errors.New("dash: service unavailable")
+
+// OverloadError is what an admission-controlled ChunkSource returns
+// when it sheds a request instead of queueing it: the edge/origin
+// cluster's bounded in-flight guard is the canonical source. The
+// server maps it to 503 with a Retry-After header carrying the hint;
+// the client turns that into a KindOverload error whose RetryAfter
+// floors the retry backoff.
+type OverloadError struct {
+	// RetryAfter hints when the caller should try again.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("dash: overloaded, retry after %v", e.RetryAfter)
+}
+
+// Is matches ErrUnavailable, so errors.Is(err, ErrUnavailable) covers
+// both the crashed and the saturated flavors of "not now".
+func (e *OverloadError) Is(target error) bool { return target == ErrUnavailable }
 
 // classifyCtx maps a request error to a kind, preferring the caller's
 // context state: a canceled or expired parent context is KindCanceled,

@@ -3,6 +3,7 @@ package dash
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"sperke/internal/faults"
+	"sperke/internal/obs"
 )
 
 // faultyServer serves the demo catalog behind a fault injector and
@@ -223,5 +225,151 @@ func TestClientDefaultHTTPClientHasTimeout(t *testing.T) {
 	c.HTTPClient = override
 	if c.httpClient() != override {
 		t.Fatal("explicit HTTPClient not honored")
+	}
+}
+
+// TestClientRetryAfterFloorsBackoff: a 503 carrying Retry-After must
+// stretch the next backoff to at least the server's hint — the server
+// named its drain time; coming back earlier just re-sheds.
+func TestClientRetryAfterFloorsBackoff(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.Add(testVideo()); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewServer(cat, nil)
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	var slept []time.Duration
+	c := fastClient(srv.URL, &slept)
+	reg := obs.NewRegistry()
+	c.Obs = reg
+	res, err := c.FetchChunk(context.Background(), "demo", 0, 0, 0)
+	if err != nil {
+		t.Fatalf("fetch through one shed failed: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		// The default first backoff is ~200ms; the floor must win.
+		t.Fatalf("backoffs = %v, want exactly [2s]", slept)
+	}
+	if got := reg.Counter("dash.client.retry_after_floors").Value(); got != 1 {
+		t.Fatalf("retry_after_floors = %d, want 1", got)
+	}
+}
+
+// TestClientOverloadExhaustionKeepsKind: a persistent shedder exhausts
+// the retry budget with KindOverload, Retryable, and the hint attached,
+// so callers can tell "drowning but alive" from a plain 5xx.
+func TestClientOverloadExhaustionKeepsKind(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	c := fastClient(srv.URL, nil)
+	reg := obs.NewRegistry()
+	c.Obs = reg
+	_, err := c.FetchChunk(context.Background(), "demo", 0, 0, 0)
+	var derr *Error
+	if !errors.As(err, &derr) {
+		t.Fatalf("error %v is not *Error", err)
+	}
+	if derr.Kind != KindOverload || derr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("Kind=%v Status=%d, want overload/503", derr.Kind, derr.Status)
+	}
+	if derr.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", derr.RetryAfter)
+	}
+	if !derr.Retryable() {
+		t.Fatal("overload errors must be retryable")
+	}
+	if got := reg.Counter("dash.client.errors.overload").Value(); got != 1 {
+		t.Fatalf("errors.overload = %d, want 1", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"2", 2 * time.Second},
+		{" 3 ", 3 * time.Second},
+		{"0", 0},
+		{"", 0},
+		{"-1", 0},
+		{"garbage", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date form: no hint
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// overloadedSource sheds every chunk request with the given hint.
+type overloadedSource struct{ retryAfter time.Duration }
+
+func (o overloadedSource) Chunk(ctx context.Context, videoID string, q, tile, idx int, layer bool) ([]byte, error) {
+	return nil, &OverloadError{RetryAfter: o.retryAfter}
+}
+
+// downSource fails every chunk request as unavailable (a crashed
+// cluster node seen through its HTTP face).
+type downSource struct{}
+
+func (downSource) Chunk(ctx context.Context, videoID string, q, tile, idx int, layer bool) ([]byte, error) {
+	return nil, fmt.Errorf("node down: %w", ErrUnavailable)
+}
+
+func TestServerMapsOverloadTo503WithRetryAfter(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.Add(testVideo()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(cat, WithStore(overloadedSource{retryAfter: 1500 * time.Millisecond})))
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + chunkPath("demo", 0, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		// 1.5s rounds up: the client must never come back early.
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+}
+
+func TestServerMapsUnavailableTo503(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.Add(testVideo()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(cat, WithStore(downSource{})))
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + chunkPath("demo", 0, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Fatalf("down (not overloaded) response carries Retry-After %q", got)
 	}
 }

@@ -2,6 +2,7 @@ package dash
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -316,7 +317,20 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 			s.Log.Debug("dash: chunk request canceled", "video", v.ID, "err", err)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		var oe *OverloadError
+		switch {
+		case errors.As(err, &oe):
+			// The source shed us under load: 503 with the Retry-After hint
+			// so a resilient client backs off instead of hammering.
+			if secs := retryAfterSeconds(oe.RetryAfter); secs > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, ErrUnavailable):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -324,6 +338,15 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(body); err != nil {
 		s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
 	}
+}
+
+// retryAfterSeconds renders a Retry-After hint in whole seconds,
+// rounded up so the client never comes back early (0 means no header).
+func retryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
 }
 
 // BuildChunkBody synthesizes the wire body of one chunk — the segment

@@ -33,13 +33,19 @@ const (
 	KindLossBurst
 	// KindStall freezes a path's queue for Duration starting at At.
 	KindStall
+	// KindNodeOutage crashes a named cluster node at At and restarts it
+	// Duration later — the node-loss regime of the edge/origin tier.
+	// Node events are armed with ApplyNodes against a NodeTarget; Apply
+	// skips them (they name nodes, not netem paths).
+	KindNodeOutage
 )
 
 var kindNames = map[Kind]string{
-	KindOutage:    "outage",
-	KindCliff:     "cliff",
-	KindLossBurst: "loss",
-	KindStall:     "stall",
+	KindOutage:     "outage",
+	KindCliff:      "cliff",
+	KindLossBurst:  "loss",
+	KindStall:      "stall",
+	KindNodeOutage: "node",
 }
 
 func (k Kind) String() string {
@@ -66,6 +72,13 @@ type Event struct {
 
 func (e Event) matches(name string) bool {
 	return e.Path == "" || e.Path == "*" || e.Path == name
+}
+
+// NodeOutage builds a node-outage event: node crashes at `at` and
+// restarts at `recoverAt`. Validate rejects recoverAt <= at (model a
+// node that never returns with a recovery past the run's horizon).
+func NodeOutage(node string, at, recoverAt time.Duration) Event {
+	return Event{Kind: KindNodeOutage, Path: node, At: at, Duration: recoverAt - at}
 }
 
 // Plan is a script of fault events replayed against a set of paths.
@@ -121,6 +134,12 @@ func (p *Plan) Apply(clock *sim.Clock, paths ...*netem.Path) error {
 		return err
 	}
 	for _, e := range p.Events {
+		if e.Kind == KindNodeOutage {
+			// Node outages target cluster nodes, not netem paths; arm
+			// them against the cluster with ApplyNodes. Skipping (rather
+			// than erroring) lets one plan script both domains.
+			continue
+		}
 		matched := false
 		for _, path := range paths {
 			if !e.matches(path.Name) {
@@ -158,15 +177,62 @@ func (p *Plan) Apply(clock *sim.Clock, paths ...*netem.Path) error {
 	return nil
 }
 
+// NodeTarget is the surface node-outage events drive: a component —
+// canonically the edge/origin cluster — whose named nodes can crash
+// and recover. KillNode and RecoverNode must tolerate repeated calls.
+type NodeTarget interface {
+	// NodeNames lists the target's node names, for eager validation of
+	// the plan's node references.
+	NodeNames() []string
+	// KillNode crashes the named node; RecoverNode restarts it.
+	KillNode(name string)
+	RecoverNode(name string)
+}
+
+// ApplyNodes arms the plan's node-outage events against target on the
+// given clock, reusing the same timed-event scheduler the netem kinds
+// ride: KillNode fires at At, RecoverNode at At+Duration. Non-node
+// events are skipped (arm those with Apply); a node event naming no
+// node of the target is an error, mirroring Apply's unmatched-path
+// check, and "*" (or empty) crashes every node.
+func (p *Plan) ApplyNodes(clock *sim.Clock, target NodeTarget) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	names := target.NodeNames()
+	for _, e := range p.Events {
+		if e.Kind != KindNodeOutage {
+			continue
+		}
+		matched := false
+		for _, name := range names {
+			if !e.matches(name) {
+				continue
+			}
+			matched = true
+			name := name
+			clock.Schedule(e.At, func() { target.KillNode(name) })
+			clock.Schedule(e.At+e.Duration, func() { target.RecoverNode(name) })
+		}
+		if !matched {
+			return fmt.Errorf("faults: node event %s:%s:%v matches none of the target's nodes",
+				e.Kind, e.Path, e.At)
+		}
+	}
+	return nil
+}
+
 // Parse builds a plan from its compact textual form, the scriptable
 // format CLI flags and experiment configs use (the role `tc` scripts
 // play in the paper's testbed):
 //
 //	"outage:wifi:10s:2s,cliff:lte:5s:3s:500k,loss:*:20s:5s:0.3,stall:wifi:8s:1s"
+//	"node:edge-1:10s:5s"   // crash edge-1 at 10s, restart at 15s
 //
 // Each comma-separated event is kind:path:at:duration[:param]; at and
 // duration use Go duration syntax ("0" allowed), cliff rates accept
-// k/M/G suffixes in bits per second, loss is a probability.
+// k/M/G suffixes in bits per second, loss is a probability. For "node"
+// events the path field names a cluster node (ApplyNodes arms them).
 func Parse(spec string) (*Plan, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("faults: empty plan spec")

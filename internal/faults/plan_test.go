@@ -141,6 +141,109 @@ func TestApplyWildcardHitsEveryPath(t *testing.T) {
 	}
 }
 
+// fakeNodeTarget records kill/recover calls with the virtual time they
+// fired at.
+type fakeNodeTarget struct {
+	names []string
+	clock *sim.Clock
+	log   []string
+}
+
+func (f *fakeNodeTarget) NodeNames() []string { return f.names }
+func (f *fakeNodeTarget) KillNode(name string) {
+	f.log = append(f.log, "kill:"+name+"@"+f.clock.Now().String())
+}
+func (f *fakeNodeTarget) RecoverNode(name string) {
+	f.log = append(f.log, "recover:"+name+"@"+f.clock.Now().String())
+}
+
+func TestParseNodeOutageRoundTrip(t *testing.T) {
+	spec := "node:edge-1:10s:5s"
+	plan := MustParse(spec)
+	if got := plan.Spec(); got != spec {
+		t.Fatalf("Spec() = %q, want %q", got, spec)
+	}
+	e := plan.Events[0]
+	if e.Kind != KindNodeOutage || e.Path != "edge-1" ||
+		e.At != 10*time.Second || e.Duration != 5*time.Second {
+		t.Fatalf("node event parsed wrong: %+v", e)
+	}
+	if _, err := Parse("node:edge-1:10s:5s:extra"); err == nil {
+		t.Fatal("node event with a stray parameter accepted")
+	}
+}
+
+func TestNodeOutageConstructor(t *testing.T) {
+	e := NodeOutage("edge-2", 10*time.Second, 15*time.Second)
+	if e.Path != "edge-2" || e.At != 10*time.Second || e.Duration != 5*time.Second {
+		t.Fatalf("NodeOutage built %+v", e)
+	}
+	// recoverAt <= at means a non-positive window; Validate rejects it.
+	bad := &Plan{Events: []Event{NodeOutage("edge-2", 10*time.Second, 10*time.Second)}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted recoverAt == at")
+	}
+}
+
+func TestApplyNodesSchedulesKillAndRecover(t *testing.T) {
+	clock := sim.NewClock(7)
+	target := &fakeNodeTarget{names: []string{"edge-0", "edge-1"}, clock: clock}
+	if err := MustParse("node:edge-1:10s:5s").ApplyNodes(clock, target); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(12 * time.Second)
+	if len(target.log) != 1 || target.log[0] != "kill:edge-1@10s" {
+		t.Fatalf("mid-outage log = %v, want the kill alone", target.log)
+	}
+	clock.RunUntil(20 * time.Second)
+	want := []string{"kill:edge-1@10s", "recover:edge-1@15s"}
+	if len(target.log) != 2 || target.log[0] != want[0] || target.log[1] != want[1] {
+		t.Fatalf("log = %v, want %v", target.log, want)
+	}
+}
+
+func TestApplyNodesWildcardHitsEveryNode(t *testing.T) {
+	clock := sim.NewClock(7)
+	target := &fakeNodeTarget{names: []string{"edge-0", "edge-1"}, clock: clock}
+	if err := MustParse("node:*:1s:1s").ApplyNodes(clock, target); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(3 * time.Second)
+	if len(target.log) != 4 {
+		t.Fatalf("wildcard produced %d calls, want kill+recover per node: %v", len(target.log), target.log)
+	}
+}
+
+func TestApplyNodesRejectsUnknownNode(t *testing.T) {
+	clock := sim.NewClock(7)
+	target := &fakeNodeTarget{names: []string{"edge-0"}, clock: clock}
+	if err := MustParse("node:edge-9:1s:1s").ApplyNodes(clock, target); err == nil {
+		t.Fatal("ApplyNodes armed an event against a node that does not exist")
+	}
+}
+
+func TestApplySkipsNodeEventsAndApplyNodesSkipsPathEvents(t *testing.T) {
+	clock := sim.NewClock(7)
+	wifi := netem.NewPath(clock, "wifi", netem.Constant(8e6), 0, 0)
+	target := &fakeNodeTarget{names: []string{"edge-0"}, clock: clock}
+	// One plan scripting both domains: each Apply variant arms only its
+	// own kinds and ignores the other's without erroring.
+	plan := MustParse("outage:wifi:1s:1s,node:edge-0:2s:1s")
+	if err := plan.Apply(clock, wifi); err != nil {
+		t.Fatalf("Apply tripped over the node event: %v", err)
+	}
+	if err := plan.ApplyNodes(clock, target); err != nil {
+		t.Fatalf("ApplyNodes tripped over the outage event: %v", err)
+	}
+	clock.RunUntil(5 * time.Second)
+	if !wifi.InOutage(1500 * time.Millisecond) {
+		t.Fatal("outage event not armed")
+	}
+	if len(target.log) != 2 {
+		t.Fatalf("node event not armed: %v", target.log)
+	}
+}
+
 func TestApplyIsDeterministic(t *testing.T) {
 	run := func() []time.Duration {
 		clock := sim.NewClock(99)

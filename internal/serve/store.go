@@ -346,6 +346,23 @@ func (s *Store) insertLocked(sh *shard, key ChunkKey, body []byte) {
 	}
 }
 
+// Reset drops every cached body, returning the store to cold — a
+// crashed-and-restarted edge node models its lost cache with this.
+// In-flight synthesis is untouched: a flight in progress completes,
+// hands its waiters the body, and re-inserts it into the emptied
+// cache.
+func (s *Store) Reset() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		dropped := sh.bytes
+		sh.entries = make(map[ChunkKey]*list.Element)
+		sh.lru.Init()
+		sh.bytes = 0
+		sh.mu.Unlock()
+		s.met.bytes.Add(-dropped)
+	}
+}
+
 // Contains reports whether key is resident (without touching LRU
 // order).
 func (s *Store) Contains(key ChunkKey) bool {

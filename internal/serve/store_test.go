@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sperke/internal/obs"
 )
@@ -253,5 +255,117 @@ func TestParallelMixedWorkload(t *testing.T) {
 	wg.Wait()
 	if b := st.Bytes(); b > 8*1024 {
 		t.Fatalf("resident bytes %d exceed budget", b)
+	}
+}
+
+// TestWaiterCancelWhileLeaderSynthesizes is the regression pin for the
+// Get contract: a non-leading caller already parked on someone else's
+// flight must return promptly with its own ctx.Err() when canceled —
+// not block until the leader finishes. Unlike TestWaiterContextCancel,
+// which races the cancel against the waiter's entry, this test proves
+// the waiter is inside the flight select (via the singleflight_shared
+// counter) before pulling its context.
+func TestWaiterCancelWhileLeaderSynthesizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ctx  func() (context.Context, context.CancelFunc)
+		want error
+	}{
+		{"cancel", func() (context.Context, context.CancelFunc) {
+			return context.WithCancel(context.Background())
+		}, context.Canceled},
+		{"deadline", func() (context.Context, context.CancelFunc) {
+			return context.WithTimeout(context.Background(), 10*time.Millisecond)
+		}, context.DeadlineExceeded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			entered := make(chan struct{})
+			release := make(chan struct{})
+			st := NewStore(func(k ChunkKey) ([]byte, error) {
+				close(entered)
+				<-release
+				return []byte("ok"), nil
+			}, StoreConfig{Obs: reg})
+
+			k := key(9)
+			leaderDone := make(chan error, 1)
+			go func() {
+				_, err := st.Get(context.Background(), k)
+				leaderDone <- err
+			}()
+			<-entered // leader is parked inside synth
+
+			ctx, cancel := tc.ctx()
+			defer cancel()
+			waiterDone := make(chan error, 1)
+			go func() {
+				_, err := st.Get(ctx, k)
+				waiterDone <- err
+			}()
+			// The shared counter ticks after the waiter joins the flight
+			// and before it parks in the select; once it reads 1 the
+			// waiter can only be at (or headed into) the select, where
+			// ctx.Done() must win.
+			shared := reg.Counter("serve.store.singleflight_shared")
+			for shared.Value() == 0 {
+				runtime.Gosched()
+			}
+			if tc.name == "cancel" {
+				cancel()
+			}
+			select {
+			case err := <-waiterDone:
+				if err != tc.want {
+					t.Fatalf("waiter error = %v, want %v", err, tc.want)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("waiter still blocked on the leader's synthesis after its context died")
+			}
+			close(release)
+			if err := <-leaderDone; err != nil {
+				t.Fatalf("leader error: %v", err)
+			}
+			if !st.Contains(k) {
+				t.Fatal("flight should have completed and cached despite the canceled waiter")
+			}
+		})
+	}
+}
+
+// TestResetDropsEverything pins the crash-restart semantics the cluster
+// tier relies on: Reset empties every shard and zeroes the byte gauge,
+// and the next Get re-misses.
+func TestResetDropsEverything(t *testing.T) {
+	var calls int32
+	reg := obs.NewRegistry()
+	st := NewStore(func(k ChunkKey) ([]byte, error) {
+		atomic.AddInt32(&calls, 1)
+		return bytes.Repeat([]byte{2}, 100), nil
+	}, StoreConfig{Shards: 4, BudgetBytes: 1 << 20, Obs: reg})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := st.Get(ctx, key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 20 || st.Bytes() == 0 {
+		t.Fatalf("warmup: Len=%d Bytes=%d", st.Len(), st.Bytes())
+	}
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", st.Len())
+	}
+	if st.Bytes() != 0 {
+		t.Fatalf("Bytes = %d after Reset, want 0", st.Bytes())
+	}
+	if got := reg.Gauge("serve.store.bytes").Value(); got != 0 {
+		t.Fatalf("bytes gauge = %d after Reset, want 0", got)
+	}
+	if _, err := st.Get(ctx, key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&calls) != 21 {
+		t.Fatalf("synth calls = %d, want a re-miss after Reset", calls)
 	}
 }

@@ -170,23 +170,25 @@ func SubmitContext(s Scheduler, ctx context.Context, r *Request) {
 	s.Submit(r)
 }
 
-// clockSource abstracts the sim clock for deadline checks; netem.Path
-// already carries one, so schedulers read time through their paths'
-// deliveries.
-type clockNow interface{ Now() time.Duration }
+// Clock abstracts the time source for deadline checks and breaker
+// cooldowns: *sim.Clock in simulated pipelines, obs.Wall (or anything
+// with a Now) in real-socket ones. Exported so other layers — the
+// edge/origin cluster's health detector reuses Breaker — can name the
+// seam they must satisfy.
+type Clock interface{ Now() time.Duration }
 
 // SinglePath sends everything over one path, reliably, in Table 1
 // order, keeping one transfer in flight so priorities stay live.
 type SinglePath struct {
 	Path  *netem.Path
-	Clock clockNow
+	Clock Clock
 
 	q      Queue
 	active bool
 }
 
 // NewSinglePath creates a single-path scheduler.
-func NewSinglePath(clock clockNow, path *netem.Path) *SinglePath {
+func NewSinglePath(clock Clock, path *netem.Path) *SinglePath {
 	return &SinglePath{Path: path, Clock: clock}
 }
 
@@ -208,7 +210,7 @@ func (s *SinglePath) SubmitCtx(ctx context.Context, r *Request) {
 
 // shed completes a request that will never be dispatched with a failed
 // zero-service delivery at the current virtual time.
-func shed(clock clockNow, r *Request) {
+func shed(clock Clock, r *Request) {
 	if r.OnDone == nil {
 		return
 	}

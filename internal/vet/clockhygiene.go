@@ -9,11 +9,15 @@ import (
 // segment arrival times and handshake nonces, netem schedules token
 // buckets, and serve's session engine measures HTTP fetch latency.
 // Each reads wall time only through an allowlisted seam (serve borrows
-// obs.NewWall rather than owning one).
+// obs.NewWall rather than owning one). cluster joins the list because
+// its failure detector runs on an injected clock (sim.Clock in the
+// deterministic failover tests, obs.Wall in real deployments) — a
+// stray time.Now in a breaker cooldown would silently split the two.
 var clockSpans = append([]string{
 	"internal/rtmp",
 	"internal/netem",
 	"internal/serve",
+	"internal/cluster",
 }, deterministicSpans...)
 
 // clockAllowlist names the functions that are the designated wall-clock
@@ -31,17 +35,23 @@ var clockAllowlist = map[string]bool{
 	// rtmp's single wall seam; Server.Now and handshake stamps route
 	// through it.
 	"internal/rtmp:wallNow": true,
+	// The cluster's probe loop is the one place it may block on real
+	// time; everything else (breaker cooldowns, health state) reads the
+	// injected clock.
+	"internal/cluster:wallSleep": true,
 }
 
 // clockForbidden are the time-package calls that read or block on the
 // wall clock.
 var clockForbidden = map[string]bool{
-	"Now":   true,
-	"Sleep": true,
-	"Since": true,
-	"Until": true,
-	"After": true,
-	"Tick":  true,
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
 }
 
 // randConstructors are the math/rand identifiers that are fine

@@ -13,6 +13,9 @@ var obsInstruments = map[string]bool{
 	"Gauge":     true,
 	"Histogram": true,
 	"Registry":  true,
+	// A literal obs.Wall has a zero epoch, so every Now() reads as
+	// decades of uptime; obs.NewWall anchors it.
+	"Wall": true,
 }
 
 // ObsDiscipline requires metrics instruments to flow through the
@@ -34,6 +37,12 @@ var ObsDiscipline = &Analyzer{
 		}
 		var out []Diagnostic
 		flag := func(pos ast.Node, typ string) {
+			if typ == "Wall" {
+				out = append(out, f.diag("obsdiscipline", pos.Pos(),
+					"direct construction of %s.Wall: use %s.NewWall() so the epoch is anchored at creation",
+					obsName, obsName))
+				return
+			}
 			out = append(out, f.diag("obsdiscipline", pos.Pos(),
 				"direct construction of %s.%s: obtain instruments via the nil-safe registry (%s.NewRegistry / Registry.%s(name))",
 				obsName, typ, obsName, typ))

@@ -1,0 +1,22 @@
+//sperke:fixture path=internal/cluster/bad_cluster.go
+
+package cluster
+
+import "time"
+
+// probeLoop owns a raw ticker: probe pacing must flow through the
+// wallSleep seam (or an injected clock) so deterministic tests can
+// drive it.
+func probeLoop(every time.Duration, probe func()) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		probe()
+	}
+}
+
+// cooldownOver reads the wall directly instead of the breaker's
+// injected clock.
+func cooldownOver(openedAt time.Time, cooldown time.Duration) bool {
+	return time.Since(openedAt) >= cooldown
+}

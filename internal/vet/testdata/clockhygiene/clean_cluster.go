@@ -1,0 +1,29 @@
+//sperke:fixture path=internal/cluster/clean_cluster.go
+
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// wallSleep is the cluster's allowlisted real-time seam: the one place
+// the package may block on the wall clock.
+func wallSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Clock is the injected time source everything else reads.
+type Clock interface{ Now() time.Duration }
+
+// cooldownOver compares against the injected clock, not the wall.
+func cooldownOver(c Clock, openedAt, cooldown time.Duration) bool {
+	return c.Now()-openedAt >= cooldown
+}
