@@ -3,6 +3,8 @@ package sperke_bench
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"testing"
 	"time"
@@ -103,6 +105,49 @@ func BenchmarkAppendChunkBody(b *testing.B) {
 			buf = out
 		}
 	})
+}
+
+// discardResponse sinks a response body without buffering it — the
+// benchmark's stand-in for a network connection, so the numbers measure
+// the handler, not a recorder's append loop.
+type discardResponse struct {
+	h http.Header
+	n int64
+}
+
+func (d *discardResponse) Header() http.Header         { return d.h }
+func (d *discardResponse) WriteHeader(int)             {}
+func (d *discardResponse) Write(p []byte) (int, error) { d.n += int64(len(p)); return len(p), nil }
+
+// BenchmarkColdServeThroughput pins the writer-first serving path's
+// headline number: bytes per second streamed by the store-less handler,
+// which regenerates every body block-by-block straight into the
+// ResponseWriter (zero body materialization). b.SetBytes makes the
+// gate-tracked MB/s column; allocs/op must stay at mux routing
+// overhead, never body-sized.
+func BenchmarkColdServeThroughput(b *testing.B) {
+	v := benchVideo()
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(v); err != nil {
+		b.Fatal(err)
+	}
+	srv := dash.NewServer(catalog)
+	bodyLen, err := dash.ChunkBodyLen(v, 3, 0, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/v/bench/c/3/0/0", nil)
+	w := &discardResponse{h: make(http.Header, 4)}
+	srv.ServeHTTP(w, req) // warm the mux and block pool
+	b.SetBytes(int64(bodyLen))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.ServeHTTP(w, req)
+	}
+	if w.n == 0 {
+		b.Fatal("no bytes served")
+	}
 }
 
 // BenchmarkConcurrentSessions pins the session engine's scaling: 32

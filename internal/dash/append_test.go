@@ -3,6 +3,8 @@ package dash
 import (
 	"bytes"
 	"testing"
+
+	"sperke/internal/obs"
 )
 
 // TestAppendChunkBodyMatchesBuild: the append variant is the build
@@ -47,8 +49,13 @@ func TestAppendChunkBodyMatchesBuild(t *testing.T) {
 
 // TestAppendChunkBodyReuseZeroAlloc pins the buffer-reuse win the pool
 // depends on: once dst has capacity, rebuilding a chunk body into it
-// allocates nothing.
+// allocates nothing per op. A GC landing mid-measurement can empty the
+// writer/block pools and force a one-off refill, so the assertion is
+// "average under one" — a real per-op allocation would read >= 1.
 func TestAppendChunkBodyReuseZeroAlloc(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random; the allocs/op pin holds only without -race")
+	}
 	v := testVideo()
 	dst, err := AppendChunkBody(nil, v, 2, 5, 3, false)
 	if err != nil {
@@ -61,7 +68,7 @@ func TestAppendChunkBodyReuseZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("AppendChunkBody reuse: %v allocs/op, want 0", allocs)
+	if allocs >= 1 {
+		t.Fatalf("AppendChunkBody reuse: %v allocs/op, want 0 per op", allocs)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -116,15 +117,7 @@ type Server struct {
 	mux  *http.ServeMux
 	once sync.Once
 	met  serverMetrics
-	// scratch recycles chunk-body build buffers on the store-less path,
-	// so steady-state synthesis allocates nothing per request
-	// (dash.server.pool_hits / pool_misses).
-	scratch *obs.BufferPool
 }
-
-// maxPooledBody caps the capacity of recycled build buffers: bodies
-// that grew larger are dropped on Put rather than pinning memory.
-const maxPooledBody = 8 << 20
 
 // ServerOption configures a Server at construction.
 type ServerOption func(*Server)
@@ -156,16 +149,21 @@ type serverMetrics struct {
 	mpd       *obs.Counter
 	chunks    *obs.Counter
 	errors    *obs.Counter
+	canceled  *obs.Counter
 	bytesTx   *obs.Counter
 	requestMS *obs.Histogram
 	wall      *obs.Wall
 }
 
-// countingWriter captures status and body bytes for metrics.
+// countingWriter captures status and body bytes for metrics. A handler
+// that returns early because the client went away marks the writer
+// aborted instead of writing a status — otherwise the default 200
+// would count a request nobody received as a success.
 type countingWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	status  int
+	bytes   int64
+	aborted bool
 }
 
 func (w *countingWriter) WriteHeader(status int) {
@@ -177,6 +175,22 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush passes http.Flusher through to the wrapped writer, so the
+// streaming chunk path can push blocks to a live viewer mid-body.
+func (w *countingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// markAborted records a client-side abort on w when it is a metrics
+// wrapper; on a bare ResponseWriter there is nothing to record.
+func markAborted(w http.ResponseWriter) {
+	if cw, ok := w.(*countingWriter); ok {
+		cw.aborted = true
+	}
 }
 
 // NewServer builds a server over a catalog. Options (WithLogger,
@@ -202,13 +216,13 @@ func (s *Server) init() {
 		mpd:       s.Obs.Counter("dash.server.mpd_requests"),
 		chunks:    s.Obs.Counter("dash.server.chunk_requests"),
 		errors:    s.Obs.Counter("dash.server.errors"),
+		canceled:  s.Obs.Counter("dash.server.canceled"),
 		bytesTx:   s.Obs.Counter("dash.server.bytes_tx"),
 		requestMS: s.Obs.Histogram("dash.server.request_ms"),
 	}
 	if s.Obs != nil {
 		s.met.wall = obs.NewWall()
 	}
-	s.scratch = obs.NewBufferPool(s.Obs, "dash.server", maxPooledBody)
 }
 
 // handleList returns the catalog's video IDs, one per line.
@@ -231,7 +245,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(cw, r)
 	s.met.requests.Inc()
 	s.met.bytesTx.Add(cw.bytes)
-	if cw.status >= 400 {
+	switch {
+	case cw.aborted:
+		// The client canceled mid-request: neither a success nor a server
+		// error (the 499 class nginx coined).
+		s.met.canceled.Inc()
+	case cw.status >= 400:
 		s.met.errors.Inc()
 	}
 	s.met.requestMS.Observe(float64(s.met.wall.Now()-start) / float64(time.Millisecond))
@@ -281,7 +300,10 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dash: chunk outside live window", http.StatusNotFound)
 		return
 	}
-	isLayer := r.URL.Query().Get("layer") == "1"
+	isLayer := false
+	if r.URL.RawQuery != "" {
+		isLayer = r.URL.Query().Get("layer") == "1"
+	}
 	if isLayer && v.Encoding != media.EncodingSVC {
 		http.Error(w, "dash: video is not SVC encoded", http.StatusBadRequest)
 		return
@@ -297,23 +319,26 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "dash: empty chunk", http.StatusNotFound)
 		return
 	}
-	var body []byte
-	var err error
-	if s.Store != nil {
-		body, err = s.Store.Chunk(r.Context(), v.ID, q, tile, idx, isLayer)
-	} else {
-		// Build into pooled scratch: the body is written to the response
-		// below and the buffer recycled on return, so the store-less path
-		// stops allocating once the pool is warm.
-		scratch := s.scratch.Get()
-		defer s.scratch.Put(scratch)
-		body, err = AppendChunkBody((*scratch)[:0], v, q, tile, idx, isLayer)
-		*scratch = body
+	if s.Store == nil {
+		// Writer-first store-less path: Content-Length comes from the
+		// size model, the body streams block by block straight into the
+		// response writer — no body-sized buffer anywhere.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(media.SegmentLen(v.ID, int(size))))
+		if err := WriteChunkBody(w, v, q, tile, idx, isLayer); err != nil {
+			// The address was fully validated above, so a failure here is
+			// the client hanging up mid-stream.
+			markAborted(w)
+			s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
+		}
+		return
 	}
+	body, err := s.Store.Chunk(r.Context(), v.ID, q, tile, idx, isLayer)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client went away while we waited on the store; there is
 			// nobody left to answer.
+			markAborted(w)
 			s.Log.Debug("dash: chunk request canceled", "video", v.ID, "err", err)
 			return
 		}
@@ -336,6 +361,7 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	if _, err := w.Write(body); err != nil {
+		markAborted(w)
 		s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
 	}
 }
@@ -349,28 +375,16 @@ func retryAfterSeconds(d time.Duration) int {
 	return int((d + time.Second - 1) / time.Second)
 }
 
-// BuildChunkBody synthesizes the wire body of one chunk — the segment
-// container holding a deterministic payload sized by the video's rate
-// model. This is the single synthesis routine both the per-request path
-// and the sharded store (internal/serve) share, so cached and fresh
-// bodies are byte-identical. It is a thin wrapper over AppendChunkBody
-// with a fresh exactly-sized destination.
-func BuildChunkBody(v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
-	return AppendChunkBody(nil, v, q, tile, idx, layer)
-}
-
-// AppendChunkBody appends the wire body of one chunk to dst and
-// returns the extended slice, allocating only when dst lacks capacity —
-// the appending variant of BuildChunkBody for pooled scratch buffers.
-// The payload is synthesized directly into dst in a single pass. On
-// error dst is returned unchanged.
-func AppendChunkBody(dst []byte, v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
+// chunkSpec resolves a chunk address against the video's rate model:
+// the segment header, the payload seed and the payload size every
+// synthesis entry point shares. One resolver means the streamed, the
+// appended and the cached forms of a body cannot disagree.
+func chunkSpec(v *media.Video, q, tile, idx int, layer bool) (h media.SegmentHeader, seed uint64, size int64, err error) {
 	start := v.ChunkStart(idx)
-	var size int64
 	var flags uint8
 	if layer {
 		if v.Encoding != media.EncodingSVC {
-			return dst, fmt.Errorf("dash: video %q is not SVC encoded", v.ID)
+			return h, 0, 0, fmt.Errorf("dash: video %q is not SVC encoded", v.ID)
 		}
 		size = v.LayerBytes(q, tiling.TileID(tile), start)
 		flags |= media.FlagSVCLayer
@@ -378,9 +392,9 @@ func AppendChunkBody(dst []byte, v *media.Video, q, tile, idx int, layer bool) (
 		size = v.ChunkBytes(q, tiling.TileID(tile), start)
 	}
 	if size <= 0 {
-		return dst, fmt.Errorf("dash: empty chunk %s/%d/%d/%d", v.ID, q, tile, idx)
+		return h, 0, 0, fmt.Errorf("dash: empty chunk %s/%d/%d/%d", v.ID, q, tile, idx)
 	}
-	h := media.SegmentHeader{
+	h = media.SegmentHeader{
 		VideoID:  v.ID,
 		Quality:  q,
 		Flags:    flags,
@@ -388,7 +402,61 @@ func AppendChunkBody(dst []byte, v *media.Video, q, tile, idx int, layer bool) (
 		Start:    start,
 		Duration: v.ChunkDuration,
 	}
-	seed := uint64(q)<<40 ^ uint64(tile)<<20 ^ uint64(idx) ^ 0x5eed
+	seed = uint64(q)<<40 ^ uint64(tile)<<20 ^ uint64(idx) ^ 0x5eed
+	if layer {
+		// The layer flag must reach the seed: without it an SVC layer at
+		// (q,tile,idx) is a byte-prefix of the full chunk at the same
+		// address — the seed-collision class PR 5 fixed for adjacent
+		// seeds, reintroduced through the address space.
+		seed ^= 1 << 63
+	}
+	return h, seed, size, nil
+}
+
+// ChunkBodyLen reports the exact wire length of a chunk body without
+// building it — the Content-Length of the streaming path, from
+// media.SegmentLen and the size model.
+func ChunkBodyLen(v *media.Video, q, tile, idx int, layer bool) (int, error) {
+	h, _, size, err := chunkSpec(v, q, tile, idx, layer)
+	if err != nil {
+		return 0, err
+	}
+	return media.SegmentLen(h.VideoID, int(size)), nil
+}
+
+// WriteChunkBody streams the wire body of one chunk into w with zero
+// body materialization: peak scratch is media's fixed block size, not
+// the body. This is the primary synthesis form; the byte-slice
+// builders below wrap it, so streamed, appended and cached bodies are
+// byte-identical by construction.
+func WriteChunkBody(w io.Writer, v *media.Video, q, tile, idx int, layer bool) error {
+	h, seed, size, err := chunkSpec(v, q, tile, idx, layer)
+	if err != nil {
+		return err
+	}
+	if err := media.WriteSyntheticSegment(w, h, seed, int(size)); err != nil {
+		return fmt.Errorf("dash: writing chunk body: %w", err)
+	}
+	return nil
+}
+
+// BuildChunkBody synthesizes the wire body of one chunk — the segment
+// container holding a deterministic payload sized by the video's rate
+// model — into a fresh exactly-sized slice. A thin wrapper over
+// AppendChunkBody.
+func BuildChunkBody(v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
+	return AppendChunkBody(nil, v, q, tile, idx, layer)
+}
+
+// AppendChunkBody appends the wire body of one chunk to dst and
+// returns the extended slice, allocating only when dst lacks capacity —
+// the appending variant of WriteChunkBody for pooled scratch buffers.
+// On error dst is returned unchanged.
+func AppendChunkBody(dst []byte, v *media.Video, q, tile, idx int, layer bool) ([]byte, error) {
+	h, seed, size, err := chunkSpec(v, q, tile, idx, layer)
+	if err != nil {
+		return dst, err
+	}
 	out, err := media.AppendSyntheticSegment(dst, h, seed, int(size))
 	if err != nil {
 		return dst, fmt.Errorf("dash: building chunk body: %w", err)

@@ -1,0 +1,281 @@
+package dash
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"sperke/internal/media"
+	"sperke/internal/obs"
+)
+
+// buildSource is an in-test ChunkSource backed by BuildChunkBody — the
+// contract every real store implements (the sharded store's own
+// equivalence is pinned in internal/serve, which can import dash).
+type buildSource struct{ cat *Catalog }
+
+func (b buildSource) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	v, ok := b.cat.Get(videoID)
+	if !ok {
+		return nil, ErrUnavailable
+	}
+	return BuildChunkBody(v, quality, tile, index, layer)
+}
+
+// TestWriteChunkBodyMatchesBuilders: the streaming form is the
+// builders' single source of truth — byte-identical output and an
+// exact length report, for base chunks and SVC layers.
+func TestWriteChunkBodyMatchesBuilders(t *testing.T) {
+	v := testVideo()
+	for _, layer := range []bool{false, true} {
+		want, err := BuildChunkBody(v, 2, 5, 3, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed bytes.Buffer
+		if err := WriteChunkBody(&streamed, v, 2, 5, 3, layer); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed.Bytes(), want) {
+			t.Fatalf("layer=%v: streamed body differs from BuildChunkBody", layer)
+		}
+		n, err := ChunkBodyLen(v, 2, 5, 3, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) {
+			t.Fatalf("layer=%v: ChunkBodyLen = %d, body is %d bytes", layer, n, len(want))
+		}
+	}
+
+	// Error contract: invalid addresses fail the same way everywhere.
+	if err := WriteChunkBody(io.Discard, v, 2, v.Grid.Tiles(), 3, false); err == nil {
+		t.Fatal("out-of-range tile accepted by WriteChunkBody")
+	}
+	if _, err := ChunkBodyLen(v, 2, v.Grid.Tiles(), 3, false); err == nil {
+		t.Fatal("out-of-range tile accepted by ChunkBodyLen")
+	}
+}
+
+// TestLayerSeedDistinctFromChunk is the layer seed-collision
+// regression test: before the fix the SVC-layer seed at (q,tile,idx)
+// equaled the full chunk's, so the layer payload was a byte-prefix of
+// the chunk payload at the same address — indistinguishable bodies for
+// CRC dedup and cache comparisons. The layer flag now reaches the
+// seed.
+func TestLayerSeedDistinctFromChunk(t *testing.T) {
+	v := testVideo()
+	full, err := BuildChunkBody(v, 2, 5, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := BuildChunkBody(v, 2, 5, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullPayload, err := media.ReadSegment(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, layerPayload, err := media.ReadSegment(bytes.NewReader(layer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layerPayload) >= len(fullPayload) {
+		t.Fatalf("layer payload (%d) not smaller than chunk payload (%d)", len(layerPayload), len(fullPayload))
+	}
+	if bytes.Equal(layerPayload, fullPayload[:len(layerPayload)]) {
+		t.Fatal("SVC layer payload is a byte-prefix of the full chunk at the same address")
+	}
+}
+
+// TestServerStreamedResponseMatchesStore: the store-less streaming
+// path, the store-backed path and the builders all serve the same
+// bytes, with Content-Length set up front.
+func TestServerStreamedResponseMatchesStore(t *testing.T) {
+	cat := NewCatalog()
+	v := testVideo()
+	if err := cat.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	want, err := BuildChunkBody(v, 2, 5, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func(h http.Handler, path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	storeless := NewServer(cat)
+	rec := fetch(storeless, "/v/demo/c/2/5/3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("store-less status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Length"); got != "" {
+		n, _ := ChunkBodyLen(v, 2, 5, 3, false)
+		if got != itoa(n) {
+			t.Fatalf("Content-Length = %s, want %d", got, n)
+		}
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatal("store-less streamed body differs from BuildChunkBody")
+	}
+
+	stored := NewServer(cat, WithStore(buildSource{cat: cat}))
+	rec2 := fetch(stored, "/v/demo/c/2/5/3")
+	if !bytes.Equal(rec2.Body.Bytes(), want) {
+		t.Fatal("store-backed body differs from BuildChunkBody")
+	}
+
+	// SVC layer through both paths too.
+	wantLayer, err := BuildChunkBody(v, 2, 5, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fetch(storeless, "/v/demo/c/2/5/3?layer=1").Body.Bytes(); !bytes.Equal(got, wantLayer) {
+		t.Fatal("store-less layer body differs from BuildChunkBody")
+	}
+	if got := fetch(stored, "/v/demo/c/2/5/3?layer=1").Body.Bytes(); !bytes.Equal(got, wantLayer) {
+		t.Fatal("store-backed layer body differs from BuildChunkBody")
+	}
+}
+
+func itoa(n int) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// cancelSource is a ChunkSource standing in for a store whose caller
+// went away: it reports the context's own error.
+type cancelSource struct{}
+
+func (cancelSource) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCanceledChunkRequestCountsAsCanceled is the canceled-metrics
+// regression test: a chunk request abandoned by its client used to be
+// recorded as a 200 (the countingWriter's default status), silently
+// inflating the success rate. It must count under dash.server.canceled
+// and not under errors.
+func TestCanceledChunkRequestCountsAsCanceled(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.Add(testVideo()); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := NewServer(cat, WithObs(reg), WithStore(cancelSource{}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v/demo/c/2/5/3", nil).WithContext(ctx)
+	s.ServeHTTP(httptest.NewRecorder(), req)
+
+	if got := reg.Counter("dash.server.canceled").Value(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+	if got := reg.Counter("dash.server.errors").Value(); got != 0 {
+		t.Fatalf("errors = %d, want 0 for a client-side abort", got)
+	}
+	if got := reg.Counter("dash.server.requests").Value(); got != 1 {
+		t.Fatalf("requests = %d, want 1", got)
+	}
+}
+
+// flushRecorder counts Flush calls behind the countingWriter wrapper.
+type flushRecorder struct {
+	httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestCountingWriterPassesThroughFlusher: the metrics wrapper must not
+// hide http.Flusher from the streaming path — a mid-body Flush has to
+// reach the real connection.
+func TestCountingWriterPassesThroughFlusher(t *testing.T) {
+	inner := &flushRecorder{ResponseRecorder: *httptest.NewRecorder()}
+	cw := &countingWriter{ResponseWriter: inner, status: http.StatusOK}
+	var w http.ResponseWriter = cw
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("countingWriter does not implement http.Flusher")
+	}
+	fl.Flush()
+	fl.Flush()
+	if inner.flushes != 2 {
+		t.Fatalf("flushes forwarded = %d, want 2", inner.flushes)
+	}
+
+	// Wrapping a non-flusher must not panic.
+	cw2 := &countingWriter{ResponseWriter: nonFlusher{httptest.NewRecorder()}}
+	cw2.Flush()
+}
+
+// nonFlusher hides the recorder's Flush method.
+type nonFlusher struct{ http.ResponseWriter }
+
+// discardWriter is a body sink with preallocated headers, so the
+// allocation test below measures the handler, not the test harness.
+type discardWriter struct {
+	h http.Header
+	n int64
+}
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) WriteHeader(int)             {}
+func (d *discardWriter) Write(p []byte) (int, error) { d.n += int64(len(p)); return len(p), nil }
+
+// TestStorelessChunkAllocBudget pins the zero-materialization
+// acceptance bar: a store-less cold chunk response must never allocate
+// a body-sized buffer — per-request allocation stays bounded by mux
+// routing overhead, far under the ~109KB body.
+func TestStorelessChunkAllocBudget(t *testing.T) {
+	cat := NewCatalog()
+	v := testVideo()
+	if err := cat.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(cat)
+	req := httptest.NewRequest("GET", "/v/demo/c/2/5/3", nil)
+	w := &discardWriter{h: make(http.Header, 4)}
+	bodyLen, err := ChunkBodyLen(v, 2, 5, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the block pool and the mux.
+	s.ServeHTTP(w, req)
+
+	const iters = 64
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		s.ServeHTTP(w, req)
+	}
+	runtime.ReadMemStats(&after)
+	perOp := int64(after.TotalAlloc-before.TotalAlloc) / iters
+	if perOp >= int64(bodyLen)/4 {
+		t.Fatalf("store-less request allocates %d B/op — body-sized (body is %d B); streaming path must stay block-bounded", perOp, bodyLen)
+	}
+	if w.n == 0 {
+		t.Fatal("no bytes served")
+	}
+}

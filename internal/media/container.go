@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
+	"sync"
 	"time"
 
+	"sperke/internal/obs"
 	"sperke/internal/tiling"
 )
 
@@ -50,6 +53,16 @@ const (
 	// realistic chunk and small enough to reject corrupt length fields
 	// before allocating.
 	MaxPayloadLen = 64 << 20
+	// MaxSegmentTime is the largest Start or Duration the wire format
+	// can carry: both travel as uint32 milliseconds, so anything past
+	// ~49.7 days would silently wrap and fail to round-trip through
+	// ReadSegment. validateSegment rejects it instead.
+	MaxSegmentTime = time.Duration(math.MaxUint32) * time.Millisecond
+	// SyntheticBlockLen is the fixed scratch size of the writer-first
+	// synthesis path: WriteSyntheticSegment never holds more than one
+	// such block regardless of payload length. A multiple of 8 so block
+	// boundaries stay aligned with the generator's 8-byte words.
+	SyntheticBlockLen = 32 << 10
 )
 
 // SegmentHeader describes one chunk (or one SVC layer of a chunk) on the
@@ -84,6 +97,12 @@ func validateSegment(h SegmentHeader, payloadLen int) error {
 	}
 	if h.Tile < 0 || h.Tile > 0xffff {
 		return fmt.Errorf("media: tile %d out of range", h.Tile)
+	}
+	if h.Start < 0 || h.Start > MaxSegmentTime {
+		return fmt.Errorf("media: start %v outside [0, %v]", h.Start, MaxSegmentTime)
+	}
+	if h.Duration < 0 || h.Duration > MaxSegmentTime {
+		return fmt.Errorf("media: duration %v outside [0, %v]", h.Duration, MaxSegmentTime)
 	}
 	return nil
 }
@@ -144,10 +163,86 @@ func AppendSegment(dst []byte, h SegmentHeader, payload []byte) ([]byte, error) 
 	return append(dst, payload...), nil
 }
 
+// blockPool recycles the fixed-size scratch blocks of the writer-first
+// synthesis path. Blocks are minted and kept at exactly
+// SyntheticBlockLen, so the pool's resident memory is bounded by the
+// number of concurrent writers, never by body sizes.
+var blockPool = obs.NewSizedBufferPool(nil, "media.block", SyntheticBlockLen, SyntheticBlockLen)
+
+// segWriterPool recycles the slice-backed writers that let the
+// appending builders delegate to the writer-first path without
+// allocating per call.
+var segWriterPool = sync.Pool{New: func() any { return new(sliceWriter) }}
+
+// sliceWriter adapts an append destination to io.Writer. Writes within
+// the buffer's capacity extend it in place; Write never fails.
+type sliceWriter struct{ buf []byte }
+
+func (sw *sliceWriter) Write(p []byte) (int, error) {
+	sw.buf = append(sw.buf, p...)
+	return len(p), nil
+}
+
+// WriteSyntheticSegment streams a segment whose payload is
+// SyntheticPayload(seed, n) into w without ever materializing the
+// payload: the deterministic generator is run once through a CRC-32
+// hasher over a reused SyntheticBlockLen scratch block (the CRC of a
+// synthetic payload is computable before emission), then the header is
+// emitted and the payload regenerated block by block straight into w.
+// Peak scratch is the fixed block size regardless of n, and the bytes
+// written are exactly AppendSegment(nil, h, SyntheticPayload(seed, n)).
+func WriteSyntheticSegment(w io.Writer, h SegmentHeader, seed uint64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("media: negative payload length %d", n)
+	}
+	if err := validateSegment(h, n); err != nil {
+		return err
+	}
+	scratch := blockPool.Get()
+	defer blockPool.Put(scratch)
+	block := (*scratch)[:SyntheticBlockLen]
+
+	// Pass 1: CRC of the payload, one block at a time.
+	var crc uint32
+	s := newSynthStream(seed)
+	for rem := n; rem > 0; {
+		k := rem
+		if k > len(block) {
+			k = len(block)
+		}
+		s.fill(block[:k])
+		crc = crc32.Update(crc, crc32.IEEETable, block[:k])
+		rem -= k
+	}
+
+	// Header (the block doubles as header scratch: 26 + ≤255 ID bytes
+	// always fit).
+	hdr := appendSegmentHeader(block[:0], h, n, crc)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	// Pass 2: regenerate the payload into w.
+	s = newSynthStream(seed)
+	for rem := n; rem > 0; {
+		k := rem
+		if k > len(block) {
+			k = len(block)
+		}
+		s.fill(block[:k])
+		if _, err := w.Write(block[:k]); err != nil {
+			return err
+		}
+		rem -= k
+	}
+	return nil
+}
+
 // AppendSyntheticSegment appends a segment whose payload is
-// SyntheticPayload(seed, n), generating the payload directly into dst
-// and back-patching the CRC — a single pass with no intermediate
-// payload slice. On error dst is returned unchanged. The result is
+// SyntheticPayload(seed, n) to dst and returns the extended slice — a
+// thin wrapper over WriteSyntheticSegment writing into dst's spare
+// capacity, so the appending and streaming forms share one encoder and
+// cannot drift. On error dst is returned unchanged. The result is
 // byte-identical to AppendSegment(dst, h, SyntheticPayload(seed, n)).
 func AppendSyntheticSegment(dst []byte, h SegmentHeader, seed uint64, n int) ([]byte, error) {
 	if n < 0 {
@@ -157,12 +252,16 @@ func AppendSyntheticSegment(dst []byte, h SegmentHeader, seed uint64, n int) ([]
 		return dst, err
 	}
 	dst = growCap(dst, SegmentLen(h.VideoID, n))
-	base := len(dst)
-	dst = appendSegmentHeader(dst, h, n, 0)
-	payloadStart := len(dst)
-	dst = AppendSyntheticPayload(dst, seed, n)
-	binary.BigEndian.PutUint32(dst[base+22:], crc32.ChecksumIEEE(dst[payloadStart:]))
-	return dst, nil
+	sw := segWriterPool.Get().(*sliceWriter)
+	sw.buf = dst
+	err := WriteSyntheticSegment(sw, h, seed, n)
+	out := sw.buf
+	sw.buf = nil
+	segWriterPool.Put(sw)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
 }
 
 // ReadSegment decodes one segment from r, validating magic, version,
@@ -234,10 +333,25 @@ func AppendSyntheticPayload(dst []byte, seed uint64, n int) []byte {
 	dst = growCap(dst, n)
 	base := len(dst)
 	dst = dst[:base+n]
-	// Mix the seed through a splitmix64 finalizer before forcing it
-	// odd: seeding xorshift with a raw `seed | 1` collapses seeds 2k
-	// and 2k+1 onto the same stream, so distinct chunks could share
-	// payload bytes and skew cache-dedup and CRC-based comparisons.
+	s := newSynthStream(seed)
+	s.fill(dst[base:])
+	return dst
+}
+
+// synthStream is the resumable form of the synthetic-payload
+// generator: consecutive fill calls emit consecutive bytes of the same
+// prefix-stable stream, which is what lets WriteSyntheticSegment
+// regenerate a payload block by block instead of holding it whole.
+// Callers must keep every fill length a multiple of 8 except the last
+// (the word generator has no partial-word carry).
+type synthStream struct{ x uint64 }
+
+// newSynthStream seeds the stream. The seed is mixed through a
+// splitmix64 finalizer before forcing it odd: seeding xorshift with a
+// raw `seed | 1` collapses seeds 2k and 2k+1 onto the same stream, so
+// distinct chunks could share payload bytes and skew cache-dedup and
+// CRC-based comparisons.
+func newSynthStream(seed uint64) synthStream {
 	x := seed + 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -245,15 +359,26 @@ func AppendSyntheticPayload(dst []byte, seed uint64, n int) []byte {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	x |= 1 // xorshift state must stay non-zero
+	return synthStream{x: x}
+}
+
+// fill writes the next len(p) bytes of the stream into p.
+func (s *synthStream) fill(p []byte) {
 	// xorshift64* — tiny, fast, deterministic.
+	x := s.x
+	n := len(p)
 	for i := 0; i < n; i += 8 {
 		x ^= x >> 12
 		x ^= x << 25
 		x ^= x >> 27
 		v := x * 2685821657736338717
-		for j := 0; j < 8 && i+j < n; j++ {
-			dst[base+i+j] = byte(v >> (8 * j))
+		if i+8 <= n {
+			binary.LittleEndian.PutUint64(p[i:], v)
+		} else {
+			for j := 0; i+j < n; j++ {
+				p[i+j] = byte(v >> (8 * j))
+			}
 		}
 	}
-	return dst
+	s.x = x
 }

@@ -16,6 +16,7 @@ import "sync"
 // and Put drops them, so callers never need a nil check.
 type BufferPool struct {
 	pool   sync.Pool
+	minCap int
 	maxCap int
 	hits   *Counter
 	misses *Counter
@@ -27,7 +28,17 @@ type BufferPool struct {
 // Put so one oversized body cannot pin memory forever; maxCap <= 0
 // means unlimited.
 func NewBufferPool(r *Registry, prefix string, maxCap int) *BufferPool {
+	return NewSizedBufferPool(r, prefix, 0, maxCap)
+}
+
+// NewSizedBufferPool is NewBufferPool for fixed-size scratch blocks: a
+// pool miss mints a buffer with minCap capacity up front instead of
+// growing a fresh one on first use. Setting maxCap == minCap pins the
+// pool to exactly one block size — what the writer-first streaming
+// path uses, so its resident scratch is blocks, never bodies.
+func NewSizedBufferPool(r *Registry, prefix string, minCap, maxCap int) *BufferPool {
 	return &BufferPool{
+		minCap: minCap,
 		maxCap: maxCap,
 		hits:   r.Counter(prefix + ".pool_hits"),
 		misses: r.Counter(prefix + ".pool_misses"),
@@ -46,6 +57,10 @@ func (p *BufferPool) Get() *[]byte {
 		return v.(*[]byte)
 	}
 	p.misses.Inc()
+	if p.minCap > 0 {
+		buf := make([]byte, 0, p.minCap)
+		return &buf
+	}
 	return new([]byte)
 }
 

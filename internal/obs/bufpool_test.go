@@ -10,16 +10,23 @@ func TestBufferPoolRecyclesAndCounts(t *testing.T) {
 	if len(*b) != 0 {
 		t.Fatalf("fresh buffer has len %d", len(*b))
 	}
-	*b = append(*b, 1, 2, 3)
-	p.Put(b)
-
-	b2 := p.Get()
-	if len(*b2) != 0 {
-		t.Fatalf("recycled buffer not trimmed: len %d", len(*b2))
+	if r.Counter("test.pool_misses").Value() != 1 {
+		t.Fatalf("first Get: misses = %d, want 1", r.Counter("test.pool_misses").Value())
 	}
-	if r.Counter("test.pool_misses").Value() != 1 || r.Counter("test.pool_hits").Value() != 1 {
-		t.Fatalf("counters: misses=%d hits=%d, want 1/1",
-			r.Counter("test.pool_misses").Value(), r.Counter("test.pool_hits").Value())
+
+	// sync.Pool may shed a Put (GC, or the race detector's deliberate
+	// random drops), so recycling is asserted as "a hit within a few
+	// rounds", not on the first round.
+	for i := 0; i < 32 && r.Counter("test.pool_hits").Value() == 0; i++ {
+		*b = append((*b)[:0], 1, 2, 3)
+		p.Put(b)
+		b = p.Get()
+		if len(*b) != 0 {
+			t.Fatalf("recycled buffer not trimmed: len %d", len(*b))
+		}
+	}
+	if r.Counter("test.pool_hits").Value() == 0 {
+		t.Fatal("no pool hit in 32 Put/Get rounds")
 	}
 }
 
@@ -47,10 +54,41 @@ func TestBufferPoolNilSafe(t *testing.T) {
 	q.Put(q.Get()) // nil registry: counters no-op, pool still works
 }
 
+// TestSizedBufferPoolMintsAtMinCap: a sized pool's miss path hands out
+// a buffer already at block capacity, and maxCap == minCap pins the
+// pool to exactly that block size — an overgrown buffer is dropped on
+// Put instead of widening the resident scratch.
+func TestSizedBufferPoolMintsAtMinCap(t *testing.T) {
+	r := NewRegistry()
+	p := NewSizedBufferPool(r, "blk", 512, 512)
+
+	b := p.Get()
+	if cap(*b) != 512 || len(*b) != 0 {
+		t.Fatalf("minted buffer: len %d cap %d, want 0/512", len(*b), cap(*b))
+	}
+	p.Put(b)
+	if got := p.Get(); cap(*got) != 512 {
+		t.Fatalf("post-recycle buffer: cap %d, want 512", cap(*got))
+	}
+
+	grown := p.Get()
+	*grown = make([]byte, 0, 1024)
+	p.Put(grown)
+	again := p.Get()
+	if cap(*again) != 512 {
+		t.Fatalf("overgrown buffer recycled: cap %d, want fresh 512", cap(*again))
+	}
+}
+
 // TestBufferPoolGetPutZeroAlloc pins the reason the pool traffics in
 // *[]byte: the Get/Put round trip itself must not allocate (interface
-// boxing of a plain []byte would).
+// boxing of a plain []byte would). Shed Puts (GC, race-detector drops)
+// can force occasional refills, so the assertion is "average under
+// one" — boxing would read >= 1 every round trip.
 func TestBufferPoolGetPutZeroAlloc(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts at random; the allocs/op pin holds only without -race")
+	}
 	p := NewBufferPool(nil, "x", 0)
 	seed := p.Get()
 	*seed = make([]byte, 0, 64)
@@ -60,7 +98,7 @@ func TestBufferPoolGetPutZeroAlloc(t *testing.T) {
 		*b = append(*b, 0xaa)
 		p.Put(b)
 	})
-	if allocs != 0 {
-		t.Fatalf("Get/Put round trip: %v allocs/op, want 0", allocs)
+	if allocs >= 1 {
+		t.Fatalf("Get/Put round trip: %v allocs/op, want 0 per op", allocs)
 	}
 }

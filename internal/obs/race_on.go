@@ -1,0 +1,12 @@
+//go:build race
+
+package obs
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-pinning tests consult it: race-mode sync.Pool
+// deliberately drops a random fraction of Puts (to shake out
+// use-after-Put bugs), so "pooled path allocates nothing per op"
+// cannot hold under -race and those pins are skipped there — the
+// non-race test run and the benchmark allocs/op gate still enforce
+// them.
+const RaceEnabled = true

@@ -3,25 +3,37 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"sperke/internal/dash"
 )
 
-// NewCatalogStore builds a Store whose miss path synthesizes chunk
-// bodies from a dash catalog with dash.AppendChunkBody — the exact
-// bytes the per-request path would produce, built into the store's
-// pooled scratch so a miss allocates only the sealed cache copy. Wire
+// NewCatalogStore builds a Store whose miss path streams chunk bodies
+// from a dash catalog with dash.WriteChunkBody — the single writer-
+// first synthesis routine the store-less serving path uses, so cached
+// and streamed bodies are byte-identical by construction. The sealed
+// cache copy is allocated at its exact length (dash.ChunkBodyLen) and
+// filled by the stream; a miss performs no other body-sized work. Wire
 // it under a server with dash.WithStore:
 //
 //	store := serve.NewCatalogStore(catalog, serve.StoreConfig{BudgetBytes: 256 << 20})
 //	srv := dash.NewServer(catalog, dash.WithStore(store))
 func NewCatalogStore(cat *dash.Catalog, cfg StoreConfig) *Store {
-	return NewAppendStore(func(dst []byte, key ChunkKey) ([]byte, error) {
-		v, ok := cat.Get(key.Video)
-		if !ok {
-			return dst, fmt.Errorf("serve: video %q not in catalog", key.Video)
-		}
-		return dash.AppendChunkBody(dst, v, key.Quality, key.Tile, key.Index, key.Layer)
+	return NewWriterStore(WriterSynth{
+		Size: func(key ChunkKey) (int, error) {
+			v, ok := cat.Get(key.Video)
+			if !ok {
+				return 0, fmt.Errorf("serve: video %q not in catalog", key.Video)
+			}
+			return dash.ChunkBodyLen(v, key.Quality, key.Tile, key.Index, key.Layer)
+		},
+		Write: func(w io.Writer, key ChunkKey) error {
+			v, ok := cat.Get(key.Video)
+			if !ok {
+				return fmt.Errorf("serve: video %q not in catalog", key.Video)
+			}
+			return dash.WriteChunkBody(w, v, key.Quality, key.Tile, key.Index, key.Layer)
+		},
 	}, cfg)
 }
 

@@ -157,7 +157,10 @@ func TestWarmHitZeroAlloc(t *testing.T) {
 }
 
 // TestScratchPoolRecycles reads the pool's own counters: the first
-// miss mints a buffer, the second recycles it.
+// miss mints a buffer, and later misses recycle it. sync.Pool may shed
+// a Put (GC, or the race detector's deliberate random drops), so
+// recycling is asserted as "a hit within a few cold builds", not on
+// the second one.
 func TestScratchPoolRecycles(t *testing.T) {
 	reg := obs.NewRegistry()
 	st := NewAppendStore(appendSynthFor(128), StoreConfig{Shards: 1, BudgetBytes: 1 << 20, Obs: reg})
@@ -168,24 +171,25 @@ func TestScratchPoolRecycles(t *testing.T) {
 	if got := reg.Counter("serve.store.pool_misses").Value(); got != 1 {
 		t.Fatalf("after first cold build: pool_misses = %d, want 1", got)
 	}
-	if _, err := st.Get(ctx, key(1)); err != nil {
-		t.Fatal(err)
+	for i := 1; i < 32 && reg.Counter("serve.store.pool_hits").Value() == 0; i++ {
+		if _, err := st.Get(ctx, key(i)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if got := reg.Counter("serve.store.pool_hits").Value(); got != 1 {
-		t.Fatalf("after second cold build: pool_hits = %d, want 1", got)
+	if reg.Counter("serve.store.pool_hits").Value() == 0 {
+		t.Fatal("no pool hit across 32 cold builds")
 	}
 }
 
 // TestAppendSynthErrorReturnsScratch: a failed synthesis still repays
-// the pool and caches nothing.
+// the pool and caches nothing. Only the error path ever Puts here, so
+// a later pool hit proves the repayment; sync.Pool may shed a Put
+// (GC, race-detector drops), hence the retry loop.
 func TestAppendSynthErrorReturnsScratch(t *testing.T) {
 	reg := obs.NewRegistry()
 	boom := fmt.Errorf("boom")
 	st := NewAppendStore(func(dst []byte, k ChunkKey) ([]byte, error) {
-		if k.Index == 0 {
-			return dst, boom
-		}
-		return append(dst, 1, 2, 3), nil
+		return dst, boom
 	}, StoreConfig{Shards: 1, Obs: reg})
 	ctx := context.Background()
 	if _, err := st.Get(ctx, key(0)); err == nil {
@@ -194,10 +198,12 @@ func TestAppendSynthErrorReturnsScratch(t *testing.T) {
 	if st.Contains(key(0)) {
 		t.Fatal("failed synthesis cached")
 	}
-	if _, err := st.Get(ctx, key(1)); err != nil {
-		t.Fatal(err)
+	for i := 1; i < 32 && reg.Counter("serve.store.pool_hits").Value() == 0; i++ {
+		if _, err := st.Get(ctx, key(i)); err == nil {
+			t.Fatal("error not propagated")
+		}
 	}
-	if got := reg.Counter("serve.store.pool_hits").Value(); got != 1 {
-		t.Fatalf("scratch not recycled after error path: pool_hits = %d, want 1", got)
+	if reg.Counter("serve.store.pool_hits").Value() == 0 {
+		t.Fatal("scratch not recycled after error path: no pool hit across 32 failed builds")
 	}
 }

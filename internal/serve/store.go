@@ -27,6 +27,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"sperke/internal/obs"
@@ -93,6 +94,19 @@ type Synth func(key ChunkKey) ([]byte, error)
 // reusing it, so implementations need no defensive copies.
 type AppendSynth func(dst []byte, key ChunkKey) ([]byte, error)
 
+// WriterSynth is the zero-materialization miss path: Size reports the
+// exact byte length of a key's body and Write streams those bytes into
+// w. The store allocates the sealed cache copy up front at exactly
+// Size bytes and streams straight into it — no scratch buffer, no
+// post-build copy, one body-sized allocation per miss (the bytes the
+// cache retains). Both functions must be pure, and Write must emit
+// exactly Size bytes; a mismatch fails the Get rather than caching a
+// half-built body.
+type WriterSynth struct {
+	Size  func(key ChunkKey) (int, error)
+	Write func(w io.Writer, key ChunkKey) error
+}
+
 // StoreConfig tunes a Store. The zero value gives 16 shards and a
 // 256 MiB budget with no metrics.
 type StoreConfig struct {
@@ -154,6 +168,9 @@ type Store struct {
 	// appendSynth, when set, replaces synth: misses build into pooled
 	// scratch and only the sealed copy survives the synthesis.
 	appendSynth AppendSynth
+	// writerSynth, when set, replaces both: misses stream directly into
+	// the exact-size sealed buffer.
+	writerSynth WriterSynth
 	// scratch recycles miss-path build buffers
 	// (serve.store.pool_hits / pool_misses).
 	scratch *obs.BufferPool
@@ -181,6 +198,21 @@ func NewAppendStore(synth AppendSynth, cfg StoreConfig) *Store {
 		panic("serve: NewAppendStore needs an AppendSynth")
 	}
 	return newStore(nil, synth, cfg)
+}
+
+// NewWriterStore builds a store over a sized streaming synthesizer:
+// cache misses allocate the sealed body at its exact final size and
+// stream into it, skipping both the scratch buffer and the sealing
+// copy of the append path. This is the writer-first single source of
+// truth — the same Write that streams a body to a socket fills the
+// cache, so cached and streamed bytes cannot diverge.
+func NewWriterStore(ws WriterSynth, cfg StoreConfig) *Store {
+	if ws.Size == nil || ws.Write == nil {
+		panic("serve: NewWriterStore needs both Size and Write")
+	}
+	s := newStore(nil, nil, cfg)
+	s.writerSynth = ws
+	return s
 }
 
 func newStore(synth Synth, appendSynth AppendSynth, cfg StoreConfig) *Store {
@@ -287,11 +319,15 @@ func (s *Store) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
 }
 
 // synthesize runs the miss path and seals the result: the body handed
-// to callers and to insertLocked is always a private exact-size copy
+// to callers and to insertLocked is always a private exact-size slice
 // (len == cap), never the synth's own slice or pooled scratch. The
 // append path builds into recycled scratch so the only per-miss
-// allocation that survives is the sealed copy itself.
+// allocation that survives is the sealed copy itself; the writer path
+// streams into the sealed allocation directly.
 func (s *Store) synthesize(key ChunkKey) ([]byte, error) {
+	if s.writerSynth.Write != nil {
+		return s.synthesizeStreamed(key)
+	}
 	if s.appendSynth == nil {
 		body, err := s.synth(key)
 		if err != nil {
@@ -309,6 +345,46 @@ func (s *Store) synthesize(key ChunkKey) ([]byte, error) {
 	sealed := seal(built)
 	s.scratch.Put(scratch)
 	return sealed, nil
+}
+
+// writerPool recycles the slice-backed writers the streamed miss path
+// hands to WriterSynth.Write, keeping the per-miss allocation count at
+// the sealed body alone.
+var writerPool = sync.Pool{New: func() any { return new(sliceWriter) }}
+
+// sliceWriter adapts an append destination to io.Writer; Write never
+// fails.
+type sliceWriter struct{ buf []byte }
+
+func (sw *sliceWriter) Write(p []byte) (int, error) {
+	sw.buf = append(sw.buf, p...)
+	return len(p), nil
+}
+
+// synthesizeStreamed is the writer-first miss path: one exact-size
+// allocation, filled by the synthesizer's stream, already sealed
+// (len == cap) when it goes into the cache.
+func (s *Store) synthesizeStreamed(key ChunkKey) ([]byte, error) {
+	n, err := s.writerSynth.Size(key)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("serve: sized synth for %s reports negative length %d", key, n)
+	}
+	sw := writerPool.Get().(*sliceWriter)
+	sw.buf = make([]byte, 0, n)
+	err = s.writerSynth.Write(sw, key)
+	body := sw.buf
+	sw.buf = nil
+	writerPool.Put(sw)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != n {
+		return nil, fmt.Errorf("serve: sized synth for %s wrote %d bytes, want %d", key, len(body), n)
+	}
+	return body, nil
 }
 
 // seal copies b into an exactly-sized slice (len == cap).
