@@ -3,76 +3,163 @@
 //
 //	go run ./cmd/sperke-vet ./...
 //	go run ./cmd/sperke-vet -checks clockhygiene,maporder ./internal/sim
+//	go run ./cmd/sperke-vet -json ./...
+//	go run ./cmd/sperke-vet -unused-nolint ./...
 //	go run ./cmd/sperke-vet -list
 //
+// By default the suite is type-resolved: the whole module is parsed
+// and type-checked (pure stdlib, see internal/vet/typed.go), which
+// enables the cross-package checkers (ctxflow, lockscope,
+// streamdiscipline and clockhygiene's taint pass). -untyped falls back
+// to the per-file syntax suite, which is faster but blind across
+// package boundaries.
+//
 // It exits 0 when clean, 1 when it finds violations (one
-// "path:line:col: [check] message" line per finding), and 2 on usage
-// or parse errors. Findings are suppressed in source with
-// //sperke:nolint(<check>) on or directly above the offending line.
+// "path:line:col: [check] message" line per finding, or a JSON array
+// under -json), and 2 on usage, parse, or type-check errors. Findings
+// are suppressed in source with //sperke:nolint(<check>) on or
+// directly above the offending line; -unused-nolint reports waivers
+// that no longer suppress anything so stale ones rot visibly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"sperke/internal/vet"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list registered checkers and exit")
-	checks := flag.String("checks", "", "comma-separated subset of checkers to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: sperke-vet [-list] [-checks a,b] [packages]\n\npackages are module-relative paths; ./... (the default) means the whole module.\n\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the stable -json schema, one object per finding.
+type jsonDiag struct {
+	Check   string `json:"check"`
+	Path    string `json:"path"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sperke-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered checkers and exit")
+	checks := fs.String("checks", "", "comma-separated subset of checkers to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (schema: check, path, line, col, message)")
+	unusedNolint := fs.Bool("unused-nolint", false, "report //sperke:nolint comments that suppress nothing (typed, full-suite run)")
+	untyped := fs.Bool("untyped", false, "syntax-only suite: skip the typed load and the cross-package checkers")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr,
+			"usage: sperke-vet [-list] [-checks a,b] [-json] [-unused-nolint] [-untyped] [packages]\n\npackages are module-relative paths; ./... (the default) means the whole module.\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers, err := vet.ByName(*checks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-17s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *unusedNolint && (*untyped || *checks != "") {
+		fmt.Fprintln(stderr, "sperke-vet: -unused-nolint needs the full typed suite (drop -untyped/-checks)")
+		return 2
 	}
 
 	root, err := vet.ModuleRoot(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	pkgs, err := vet.Load(root)
+	prefixes, err := targetPrefixes(root, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
-	prefixes, err := targetPrefixes(root, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	diags := vet.Run(pkgs, analyzers)
-	n := 0
-	for _, d := range diags {
-		if !matchesTarget(d.Pos.Filename, prefixes) {
-			continue
+	var diags []vet.Diagnostic
+	var unused []vet.UnusedNolint
+	if *untyped {
+		pkgs, err := vet.Load(root)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Println(d)
-		n++
+		diags = vet.Run(pkgs, analyzers)
+	} else {
+		start := time.Now()
+		m, err := vet.LoadModule(root)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "sperke-vet: typed load of %d packages in %v\n",
+			len(m.Pkgs), time.Since(start).Round(time.Millisecond))
+		res := vet.RunModule(m, analyzers)
+		diags, unused = res.Diags, res.Unused
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "sperke-vet: %d finding(s)\n", n)
-		os.Exit(1)
+
+	if *unusedNolint {
+		n := 0
+		for _, u := range unused {
+			if !matchesTarget(u.Path, prefixes) {
+				continue
+			}
+			fmt.Fprintln(stdout, u)
+			n++
+		}
+		if n > 0 {
+			fmt.Fprintf(stderr, "sperke-vet: %d unused nolint waiver(s)\n", n)
+			return 1
+		}
+		return 0
 	}
+
+	var kept []vet.Diagnostic
+	for _, d := range diags {
+		if matchesTarget(d.Pos.Filename, prefixes) {
+			kept = append(kept, d)
+		}
+	}
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(kept))
+		for _, d := range kept {
+			out = append(out, jsonDiag{
+				Check: d.Check, Path: d.Pos.Filename,
+				Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range kept {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(stderr, "sperke-vet: %d finding(s)\n", len(kept))
+		return 1
+	}
+	return 0
 }
 
 // targetPrefixes converts CLI package arguments into module-relative

@@ -332,3 +332,90 @@ func TestCanceledContextDoesNotPunishNode(t *testing.T) {
 		t.Fatal("canceled requests were counted as node failures")
 	}
 }
+
+// TestCanceledViewerAbortsOriginFetch is the ctx-drop regression for
+// the node miss path: a node's origin pull now rides the store's
+// per-flight context, which is canceled when the last interested
+// viewer departs. Before the fix the pull ran on context.Background,
+// so this origin — which blocks until it observes cancellation —
+// would have hung forever.
+func TestCanceledViewerAbortsOriginFetch(t *testing.T) {
+	entered := make(chan struct{})
+	aborted := make(chan error, 1)
+	origin := originFunc(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
+		close(entered)
+		<-ctx.Done()
+		aborted <- ctx.Err()
+		return nil, ctx.Err()
+	})
+	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Chunk(ctx, "vid", 1, 2, 3, false)
+		done <- err
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-aborted:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("origin context ended with %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("origin fetch never observed the viewer's cancellation")
+	}
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Chunk returned %v, want context.Canceled", err)
+	}
+}
+
+// TestCanceledViewerDoesNotPoisonSharedFlight: when two viewers share
+// one cold fetch, the first one leaving must not break the second —
+// the flight is canceled only when the last viewer departs.
+func TestCanceledViewerDoesNotPoisonSharedFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	origin := originFunc(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
+		close(entered)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return originBody(key), nil
+		}
+	})
+	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.ChunkKey{Video: "vid", Quality: 1, Tile: 2, Index: 3}
+	stayDone := make(chan error, 1)
+	var stayBody []byte
+	go func() {
+		b, err := c.Chunk(context.Background(), want.Video, want.Quality, want.Tile, want.Index, want.Layer)
+		stayBody = b
+		stayDone <- err
+	}()
+	<-entered
+	leaveCtx, cancelLeave := context.WithCancel(context.Background())
+	leaveDone := make(chan error, 1)
+	go func() {
+		_, err := c.Chunk(leaveCtx, want.Video, want.Quality, want.Tile, want.Index, want.Layer)
+		leaveDone <- err
+	}()
+	cancelLeave()
+	if err := <-leaveDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leaving viewer got %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-stayDone; err != nil {
+		t.Fatalf("staying viewer got %v — a peer's cancellation poisoned the shared flight", err)
+	}
+	if string(stayBody) != string(originBody(want)) {
+		t.Fatalf("staying viewer got %q, want %q", stayBody, originBody(want))
+	}
+}

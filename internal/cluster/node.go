@@ -65,16 +65,18 @@ func newNode(id string, origin dash.ChunkSource, catalog *dash.Catalog,
 		},
 	}
 	n.met.up.Set(1)
-	// The miss path pulls from the origin under context.Background: a
-	// singleflight leader synthesizes for every waiter sharing the
-	// flight, so tying the pull to one caller's context would let that
-	// caller's departure poison everyone else's body.
-	n.store = serve.NewStore(func(key serve.ChunkKey) ([]byte, error) {
+	// The miss path pulls from the origin on the store's per-flight
+	// context: the singleflight leader synthesizes for every waiter
+	// sharing the flight, and the store cancels the flight only when
+	// the last interested caller departs — so a canceled viewer aborts
+	// an origin fetch nobody else wants, without poisoning a body other
+	// viewers are waiting on.
+	n.store = serve.NewCtxStore(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
 		n.met.misses.Inc()
 		if onOriginFetch != nil {
 			onOriginFetch()
 		}
-		return origin.Chunk(context.Background(), key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+		return origin.Chunk(ctx, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
 	}, serve.StoreConfig{Shards: shards, BudgetBytes: budget})
 	if catalog != nil {
 		n.server = dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(n))

@@ -225,6 +225,7 @@ func (e *Engine) runOne(ctx context.Context, i int) SessionResult {
 	var sched transport.Scheduler = transport.NewSinglePath(clock, path)
 	if e.cfg.Client != nil {
 		sched = &httpMirror{
+			ctx:    ctx,
 			inner:  sched,
 			client: e.cfg.Client,
 			video:  v,
@@ -258,6 +259,11 @@ func (e *Engine) runOne(ctx context.Context, i int) SessionResult {
 // deterministic while still exercising the server's chunk store under
 // genuine concurrency.
 type httpMirror struct {
+	// ctx is the engine run's context. Legacy Submit calls carry no
+	// caller context, so they mirror under it — canceling the run
+	// aborts in-flight mirror HTTP requests instead of leaving them
+	// fetching chunks nobody will record.
+	ctx    context.Context
 	inner  transport.Scheduler
 	client *dash.Client
 	video  *media.Video
@@ -270,7 +276,7 @@ func (m *httpMirror) Name() string { return m.inner.Name() + "+http" }
 
 // Submit implements transport.Scheduler.
 func (m *httpMirror) Submit(r *transport.Request) {
-	m.mirror(context.Background(), r)
+	m.mirror(m.ctx, r)
 	m.inner.Submit(r)
 }
 

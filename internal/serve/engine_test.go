@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/http"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"sperke/internal/media"
 	"sperke/internal/obs"
 	"sperke/internal/tiling"
+	"sperke/internal/transport"
 )
 
 func engineVideo() *media.Video {
@@ -180,5 +183,113 @@ func TestNewEngineValidates(t *testing.T) {
 	}
 	if eng.cfg.Workers != 2 {
 		t.Fatalf("workers not capped at sessions: %d", eng.cfg.Workers)
+	}
+}
+
+// nopSched is an inner scheduler that accepts and drops requests.
+type nopSched struct{}
+
+func (nopSched) Name() string                { return "nop" }
+func (nopSched) Submit(r *transport.Request) {}
+
+// TestMirrorSubmitAbortsOnEngineCancel is the regression for the
+// legacy-path context drop: Submit carries no caller context, so its
+// mirror fetch must ride the engine run's context — canceling the run
+// aborts the in-flight HTTP request. Before the fix the mirror ran on
+// context.Background and this fetch hung until the server closed.
+func TestMirrorSubmitAbortsOnEngineCancel(t *testing.T) {
+	entered := make(chan struct{})
+	var once sync.Once
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(entered) })
+		<-r.Context().Done()
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &httpMirror{
+		ctx:    ctx,
+		inner:  nopSched{},
+		client: dash.NewClient("http://" + ln.Addr().String()),
+		video:  engineVideo(),
+		met: &engineMetrics{
+			fetchMS: reg.Histogram("test.fetch_ms"),
+			fetches: reg.Counter("test.fetches"),
+			errors:  reg.Counter("test.errors"),
+		},
+		wall: obs.NewWall(),
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Submit(&transport.Request{Chunk: tiling.ChunkID{}})
+		close(done)
+	}()
+	<-entered
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("legacy Submit's mirror fetch never aborted on engine cancel")
+	}
+	if m.met.errors.Value() == 0 {
+		t.Fatal("aborted mirror fetch should be counted as an HTTP error")
+	}
+}
+
+// TestEngineCancelLeavesNoPendingMirrorFetch: canceling a run with an
+// HTTP mirror attached both returns promptly and unwinds every
+// in-flight mirror request — the origin sees each request's context
+// die instead of holding connections for chunks nobody will record.
+func TestEngineCancelLeavesNoPendingMirrorFetch(t *testing.T) {
+	var inflight atomic.Int64
+	entered := make(chan struct{})
+	var once sync.Once
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		once.Do(func() { close(entered) })
+		<-r.Context().Done()
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	eng, err := NewEngine(EngineConfig{
+		Video: engineVideo(), Sessions: 2, Workers: 2, BaseSeed: 9,
+		Client: dash.NewClient("http://" + ln.Addr().String()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		eng.Run(ctx)
+		close(runDone)
+	}()
+	<-entered
+	cancel()
+	select {
+	case <-runDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine run never returned after cancel")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d mirror fetch(es) still pending after engine cancel", inflight.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

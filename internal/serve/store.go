@@ -107,6 +107,15 @@ type WriterSynth struct {
 	Write func(w io.Writer, key ChunkKey) error
 }
 
+// CtxSynth is the cancellation-aware miss path: like Synth it must be
+// pure on success (the same key always yields the same bytes), but it
+// observes ctx and may abort early with ctx.Err() when every caller
+// sharing the synthesis has departed. The store runs each flight on
+// its own context (see newFlightCtx) so one canceled viewer cannot
+// poison the body other viewers are waiting on: the flight is canceled
+// only when its interest count — leader plus waiters — drops to zero.
+type CtxSynth func(ctx context.Context, key ChunkKey) ([]byte, error)
+
 // StoreConfig tunes a Store. The zero value gives 16 shards and a
 // 256 MiB budget with no metrics.
 type StoreConfig struct {
@@ -124,11 +133,28 @@ type StoreConfig struct {
 }
 
 // flight is one in-progress synthesis; concurrent callers for the same
-// key wait on done instead of synthesizing again.
+// key wait on done instead of synthesizing again. interest counts the
+// callers — leader plus waiters — still wanting the result; on a
+// context-aware store each departure decrements it under the shard
+// lock, and the flight's own context is canceled when it reaches zero
+// (see Store.abandon).
 type flight struct {
-	done chan struct{}
-	body []byte
-	err  error
+	done     chan struct{}
+	body     []byte
+	err      error
+	interest int
+	ctx      context.Context
+	cancel   context.CancelFunc
+}
+
+// newFlightCtx mints the context a synthesis flight runs on. It is a
+// fresh root by design — the flight outlives any single caller and is
+// shared by everyone who arrives while it is in progress — and is the
+// allowlisted ctxflow seam for this package: cancellation still
+// reaches the flight, but only when the last interested caller
+// departs.
+func newFlightCtx() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
 }
 
 // entry is one cached body on a shard's LRU list.
@@ -171,6 +197,10 @@ type Store struct {
 	// writerSynth, when set, replaces both: misses stream directly into
 	// the exact-size sealed buffer.
 	writerSynth WriterSynth
+	// ctxSynth, when set, is the cancellation-aware miss path: each
+	// flight runs on its own context, canceled when every sharing
+	// caller has departed.
+	ctxSynth CtxSynth
 	// scratch recycles miss-path build buffers
 	// (serve.store.pool_hits / pool_misses).
 	scratch *obs.BufferPool
@@ -212,6 +242,21 @@ func NewWriterStore(ws WriterSynth, cfg StoreConfig) *Store {
 	}
 	s := newStore(nil, nil, cfg)
 	s.writerSynth = ws
+	return s
+}
+
+// NewCtxStore builds a store over a cancellation-aware synthesis
+// function. Misses synthesize on a per-flight context: the flight is
+// shared singleflight-style by every concurrent caller for the key,
+// and is canceled only when the last of them departs, so a canceled
+// viewer aborts an origin fetch nobody else wants without poisoning a
+// body other viewers are waiting on.
+func NewCtxStore(synth CtxSynth, cfg StoreConfig) *Store {
+	if synth == nil {
+		panic("serve: NewCtxStore needs a CtxSynth")
+	}
+	s := newStore(nil, nil, cfg)
+	s.ctxSynth = synth
 	return s
 }
 
@@ -268,7 +313,11 @@ func (s *Store) shard(k ChunkKey) *shard { return s.shards[k.hash()&s.mask] }
 // Get returns the body for key, synthesizing it on a miss. Concurrent
 // callers for the same cold key share one synthesis (singleflight); the
 // non-leading callers block until the leader finishes or their context
-// expires.
+// expires. On a context-aware store (NewCtxStore) the flight itself is
+// canceled once every sharing caller has departed, so an origin fetch
+// nobody is waiting on anymore aborts instead of completing into the
+// void; one caller's cancellation never disturbs a flight others still
+// want.
 //
 // Immutability contract: the returned slice is the cache's own sealed
 // copy, shared by every caller that asks for the same key — it is
@@ -292,30 +341,69 @@ func (s *Store) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
 		return body, nil
 	}
 	if fl, ok := sh.inflight[key]; ok {
+		fl.interest++
 		sh.mu.Unlock()
 		s.met.shared.Inc()
 		select {
 		case <-fl.done:
 			return fl.body, fl.err
 		case <-ctx.Done():
+			s.abandon(sh, key, fl)
 			return nil, ctx.Err()
 		}
 	}
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{done: make(chan struct{}), interest: 1}
+	if s.ctxSynth != nil {
+		fl.ctx, fl.cancel = newFlightCtx()
+	}
 	sh.inflight[key] = fl
 	sh.mu.Unlock()
 
 	s.met.misses.Inc()
-	fl.body, fl.err = s.synthesize(key)
+	if s.ctxSynth != nil {
+		// The leader's departure is its caller's cancellation: release
+		// its interest then, so a flight nobody wants anymore aborts the
+		// synthesis instead of running to completion at the origin.
+		stop := context.AfterFunc(ctx, func() { s.abandon(sh, key, fl) })
+		fl.body, fl.err = s.ctxSynth(fl.ctx, key)
+		stop()
+	} else {
+		fl.body, fl.err = s.synthesize(key)
+	}
 
 	sh.mu.Lock()
-	delete(sh.inflight, key)
+	if sh.inflight[key] == fl {
+		delete(sh.inflight, key)
+	}
 	if fl.err == nil {
 		s.insertLocked(sh, key, fl.body)
 	}
 	sh.mu.Unlock()
 	close(fl.done)
+	if fl.cancel != nil {
+		fl.cancel()
+	}
 	return fl.body, fl.err
+}
+
+// abandon releases one caller's interest in a flight. When the last
+// interested caller departs from a context-aware flight that is still
+// in progress, the flight is deregistered (so late arrivals start
+// fresh instead of joining a dying flight) and its context canceled,
+// aborting the synthesis. Flights on non-context stores are never
+// aborted — their synthesis cannot observe cancellation — matching the
+// pre-context behavior.
+func (s *Store) abandon(sh *shard, key ChunkKey, fl *flight) {
+	sh.mu.Lock()
+	fl.interest--
+	dying := fl.cancel != nil && fl.interest == 0 && sh.inflight[key] == fl
+	if dying {
+		delete(sh.inflight, key)
+	}
+	sh.mu.Unlock()
+	if dying {
+		fl.cancel()
+	}
 }
 
 // synthesize runs the miss path and seals the result: the body handed

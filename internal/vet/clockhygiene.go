@@ -39,6 +39,11 @@ var clockAllowlist = map[string]bool{
 	// time; everything else (breaker cooldowns, health state) reads the
 	// injected clock.
 	"internal/cluster:wallSleep": true,
+	// The engine's HTTP observation leg calls dash.Client.FetchChunk,
+	// which is wall-tainted through its default Now/Sleep fields; the
+	// mirror is exactly the seam where measured real-network latency
+	// enters, so the taint pass treats it as a barrier.
+	"internal/serve:httpMirror.mirror": true,
 }
 
 // clockForbidden are the time-package calls that read or block on the
@@ -78,6 +83,11 @@ var randConstructors = map[string]bool{
 var ClockHygiene = &Analyzer{
 	Name: "clockhygiene",
 	Doc:  "forbid wall-clock and global-rand use in deterministic packages outside allowlisted seams",
+	// The typed pass (taint.go) extends the per-file rule across
+	// package boundaries: helpers that launder time.Now through another
+	// package are caught at the call site where taint enters a
+	// deterministic span.
+	CheckModule: taintDiagnostics,
 	CheckFile: func(f *File) []Diagnostic {
 		if f.Test() || !inSpan(f.Path, clockSpans) {
 			return nil

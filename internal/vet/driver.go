@@ -77,11 +77,21 @@ func ParseFile(osPath, modPath string) (*File, error) {
 // path — the fixture harness uses it directly.
 func ParseSource(src []byte, modPath string) (*File, error) {
 	fset := token.NewFileSet()
+	af, err := parseInto(fset, modPath, src)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Path: modPath, Fset: fset, AST: af}, nil
+}
+
+// parseInto parses src into an existing FileSet — the typed loader
+// needs every file of a package (and the whole module) on one set.
+func parseInto(fset *token.FileSet, modPath string, src []byte) (*ast.File, error) {
 	af, err := parser.ParseFile(fset, modPath, src, parser.ParseComments)
 	if err != nil {
 		return nil, fmt.Errorf("vet: parse %s: %w", modPath, err)
 	}
-	return &File{Path: modPath, Fset: fset, AST: af}, nil
+	return af, nil
 }
 
 // ModuleRoot walks upward from dir to the directory containing go.mod.
@@ -102,21 +112,32 @@ func ModuleRoot(dir string) (string, error) {
 	}
 }
 
-// suppressions indexes a package's //sperke:nolint comments. A nolint
-// comment suppresses matching diagnostics on its own line and on the
-// line directly below it (so it can trail the offending expression or
-// sit on its own line above it).
+// suppressions indexes //sperke:nolint comments. A nolint comment
+// suppresses matching diagnostics on its own line and on the line
+// directly below it (so it can trail the offending expression or sit
+// on its own line above it). Each comment tracks whether it ever
+// suppressed anything, so a full run can report stale waivers.
 type suppressions struct {
-	// byFile maps path -> line -> suppressed checker names; an entry
-	// containing "*" suppresses everything.
-	byFile map[string]map[int][]string
+	// byFile maps path -> line -> comments anchored there.
+	byFile map[string]map[int][]*nolintComment
+	all    []*nolintComment
+}
+
+// nolintComment is one waiver comment; checks containing "*" waives
+// every checker.
+type nolintComment struct {
+	path   string
+	line   int
+	test   bool
+	checks []string
+	used   bool
 }
 
 const nolintPrefix = "//sperke:nolint"
 
-func newSuppressions(p *Package) *suppressions {
-	s := &suppressions{byFile: make(map[string]map[int][]string)}
-	for _, f := range p.Files {
+func newSuppressions(files []*File) *suppressions {
+	s := &suppressions{byFile: make(map[string]map[int][]*nolintComment)}
+	for _, f := range files {
 		for _, cg := range f.AST.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, nolintPrefix)
@@ -134,31 +155,62 @@ func newSuppressions(p *Package) *suppressions {
 				}
 				lines := s.byFile[f.Path]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*nolintComment)
 					s.byFile[f.Path] = lines
 				}
-				line := f.Fset.Position(c.Pos()).Line
-				lines[line] = append(lines[line], checks...)
+				nc := &nolintComment{
+					path:   f.Path,
+					line:   f.Fset.Position(c.Pos()).Line,
+					test:   f.Test(),
+					checks: checks,
+				}
+				lines[nc.line] = append(lines[nc.line], nc)
+				s.all = append(s.all, nc)
 			}
 		}
 	}
 	return s
 }
 
-// covers reports whether d is suppressed.
+// covers reports whether d is suppressed, marking the suppressing
+// comment used.
 func (s *suppressions) covers(d Diagnostic) bool {
 	lines := s.byFile[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, c := range lines[line] {
-			if c == "*" || c == d.Check {
-				return true
+		for _, nc := range lines[line] {
+			for _, c := range nc.checks {
+				if c == "*" || c == d.Check {
+					nc.used = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns the waivers that never suppressed anything, sorted by
+// position. Test files are exempt: the checkers skip them, so their
+// nolints are documentation, not waivers.
+func (s *suppressions) unused() []UnusedNolint {
+	var out []UnusedNolint
+	for _, nc := range s.all {
+		if nc.used || nc.test {
+			continue
+		}
+		out = append(out, UnusedNolint{Path: nc.path, Line: nc.line, Checks: nc.checks})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // ---- shared AST helpers for the checkers ----

@@ -1,0 +1,79 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// streamSpans are the serving hot paths: every chunk body they emit
+// must stream writer-first (dash.WriteChunkBody, media.Write*
+// segment builders, the store's WriterSynth) rather than materialize a
+// full []byte per request — PR 7 moved the serving tiers onto the
+// writer-first forms precisely to keep per-request allocation flat.
+var streamSpans = []string{
+	"internal/dash",
+	"internal/serve",
+	"internal/cluster",
+}
+
+// streamMaterializers are the full-body builder entry points, keyed
+// "dir:Func" on the callee's module-relative package directory. The
+// builders stay exported for tests and offline tooling; the serving
+// tiers must not call them.
+var streamMaterializers = map[string]string{
+	"internal/dash:BuildChunkBody":          "dash.WriteChunkBody",
+	"internal/dash:AppendChunkBody":         "dash.WriteChunkBody",
+	"internal/media:AppendSegment":          "media.WriteSegment",
+	"internal/media:AppendSyntheticSegment": "media.WriteSyntheticSegment",
+	"internal/media:AppendSyntheticPayload": "media.WriteSyntheticSegment",
+}
+
+// streamAllowlist names the functions inside the spans that may call a
+// materializer: the dash builders themselves (BuildChunkBody is the
+// documented convenience wrapper over the append form, and the append
+// form is the one place the media appenders are adapted for store
+// callbacks that need an owned []byte).
+var streamAllowlist = map[string]bool{
+	"internal/dash:BuildChunkBody":  true,
+	"internal/dash:AppendChunkBody": true,
+}
+
+// StreamDiscipline flags materializing chunk-body builds on the
+// serving hot paths. Resolution is type-based, so aliased imports and
+// re-exports don't hide a call; function-literal bodies count against
+// their enclosing declaration.
+var StreamDiscipline = &Analyzer{
+	Name: "streamdiscipline",
+	Doc:  "serving hot paths must stream chunk bodies writer-first, not materialize full []byte builds",
+	CheckModule: func(m *Module) []Diagnostic {
+		var out []Diagnostic
+		for _, tp := range m.Pkgs {
+			if !inSpan(tp.Dir, streamSpans) {
+				continue
+			}
+			typedFileDecls(tp, func(f *File, name string, fd *ast.FuncDecl) {
+				fn := declFunc(tp.Info, fd)
+				if fn != nil && streamAllowlist[typedFuncKey(m, fn)] {
+					return
+				}
+				ast.Inspect(fd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeOf(tp.Info, call)
+					if callee == nil || callee.Pkg() == nil || !m.Internal(callee.Pkg().Path()) {
+						return true
+					}
+					key := m.DirOf(callee.Pkg().Path()) + ":" + callee.Name()
+					if writer, hit := streamMaterializers[key]; hit {
+						out = append(out, f.diag("streamdiscipline", call.Pos(),
+							"materializing %s on the serving hot path %s (func %s): stream writer-first via %s",
+							calleeDisplay(m, callee), tp.Dir, name, writer))
+					}
+					return true
+				})
+			})
+		}
+		return out
+	},
+}

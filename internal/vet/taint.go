@@ -1,0 +1,202 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Interprocedural taint: which functions (transitively) read the wall
+// clock or the globally-seeded math/rand state. The per-file
+// clockhygiene checker sees only direct mentions, so a one-line helper
+// launders nondeterminism past it:
+//
+//	package timeutil                       // not a deterministic span
+//	func Stamp() int64 { return time.Now().UnixNano() }
+//
+//	package core                           // deterministic
+//	func tick() int64 { return timeutil.Stamp() }  // invisible per-file
+//
+// The taint pass propagates "wall-clock tainted" / "global-rand
+// tainted" facts along the static call graph to a fixed point, so the
+// typed clockhygiene pass can flag the tick → Stamp call site — the
+// point where taint crosses into a deterministic package.
+//
+// Allowlisted seams (clockAllowlist) are taint barriers: obs.NewWall
+// is the designated wall adapter, so calling it is not laundering.
+// Calls through function values (clock fields, callbacks) have no
+// static callee and do not propagate — the same injection seams the
+// hygiene rules mandate are exactly the edges the analysis is meant to
+// treat as clean.
+
+// taintKind is a bitmask of nondeterminism sources.
+type taintKind uint8
+
+const (
+	taintWall taintKind = 1 << iota
+	taintRand
+)
+
+func (k taintKind) String() string {
+	switch {
+	case k&taintWall != 0 && k&taintRand != 0:
+		return "wall-clock and global-rand"
+	case k&taintRand != 0:
+		return "global-rand"
+	default:
+		return "wall-clock"
+	}
+}
+
+// callEdge is one static call site.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+	file   *File
+}
+
+// taintFacts is the module's computed taint state.
+type taintFacts struct {
+	// tainted maps each module function to the nondeterminism it
+	// (transitively) touches; absent means clean.
+	tainted map[*types.Func]taintKind
+	// edges lists each module function's static call sites, in source
+	// order per function.
+	edges map[*types.Func][]callEdge
+}
+
+// Taint computes (once) and returns the module's taint facts.
+func (m *Module) Taint() *taintFacts {
+	m.taintOnce.Do(func() { m.taintF = buildTaint(m) })
+	return m.taintF
+}
+
+func buildTaint(m *Module) *taintFacts {
+	tf := &taintFacts{
+		tainted: make(map[*types.Func]taintKind),
+		edges:   make(map[*types.Func][]callEdge),
+	}
+	// Seed direct taint and record static call edges. Function literals
+	// are attributed to their enclosing declaration: a closure that
+	// reads the wall clock taints the function that builds it, which is
+	// how the per-file checker scopes blame too.
+	for _, tp := range m.Pkgs {
+		typedFileDecls(tp, func(f *File, name string, fd *ast.FuncDecl) {
+			fn := declFunc(tp.Info, fd)
+			if fn == nil {
+				return
+			}
+			if clockAllowlist[typedFuncKey(m, fn)] {
+				return // seams neither carry nor propagate taint
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if k := directTaint(tp.Info.Uses[n]); k != 0 {
+						tf.tainted[fn] |= k
+					}
+				case *ast.CallExpr:
+					callee := calleeOf(tp.Info, n)
+					if callee != nil && callee.Pkg() != nil && m.Internal(callee.Pkg().Path()) {
+						tf.edges[fn] = append(tf.edges[fn], callEdge{callee: callee, pos: n.Pos(), file: f})
+					}
+				}
+				return true
+			})
+		})
+	}
+	// Propagate along call edges to a fixed point. The module's call
+	// graph is small; a few passes settle it.
+	for changed := true; changed; {
+		changed = false
+		for fn, edges := range tf.edges {
+			if clockAllowlist[typedFuncKey(m, fn)] {
+				continue
+			}
+			for _, e := range edges {
+				if k := tf.tainted[e.callee]; k&^tf.tainted[fn] != 0 {
+					tf.tainted[fn] |= k
+					changed = true
+				}
+			}
+		}
+	}
+	return tf
+}
+
+// directTaint classifies one used object as a nondeterminism source:
+// the time package's wall-clock reads, or package-level use of the
+// globally-seeded math/rand API (constructors and types excepted).
+func directTaint(obj types.Object) taintKind {
+	if obj == nil || obj.Pkg() == nil {
+		return 0
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return 0
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return 0 // methods (e.g. *rand.Rand, time.Timer) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if clockForbidden[fn.Name()] {
+			return taintWall
+		}
+	case "math/rand", "math/rand/v2":
+		if ast.IsExported(fn.Name()) && !randConstructors[fn.Name()] {
+			return taintRand
+		}
+	}
+	return 0
+}
+
+// taintDiagnostics is the typed half of clockhygiene: for every
+// function in a clock-disciplined span, flag calls whose callee lives
+// outside those spans yet is (transitively) tainted — the exact spot
+// where laundered nondeterminism crosses into code that must be a pure
+// function of its seed. Direct in-span mentions stay with the per-file
+// checker, and tainted in-span callees are flagged at their own
+// boundary call, so each launder is reported exactly once.
+func taintDiagnostics(m *Module) []Diagnostic {
+	tf := m.Taint()
+	var out []Diagnostic
+	for _, tp := range m.Pkgs {
+		if !inSpan(tp.Dir, clockSpans) {
+			continue
+		}
+		typedFileDecls(tp, func(f *File, name string, fd *ast.FuncDecl) {
+			fn := declFunc(tp.Info, fd)
+			if fn == nil || clockAllowlist[typedFuncKey(m, fn)] {
+				return
+			}
+			for _, e := range tf.edges[fn] {
+				k := tf.tainted[e.callee]
+				if k == 0 {
+					continue
+				}
+				calleeDir := m.DirOf(e.callee.Pkg().Path())
+				if inSpan(calleeDir, clockSpans) {
+					continue // flagged at its own boundary (or directly per-file)
+				}
+				out = append(out, e.file.diag("clockhygiene", e.pos,
+					"call to %s launders %s use into deterministic package %s (func %s): thread an injected clock/rand through, or allowlist a named seam",
+					calleeDisplay(m, e.callee), k, tp.Dir, name))
+			}
+		})
+	}
+	return out
+}
+
+// calleeDisplay renders a cross-package callee as "pkg.Func" or
+// "pkg.Type.Method" using the callee package's base name.
+func calleeDisplay(m *Module, fn *types.Func) string {
+	p := fn.Pkg().Path()
+	base := p
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		base = p[i+1:]
+	}
+	return base + "." + typedDisplayName(fn)
+}

@@ -1,0 +1,19 @@
+//sperke:fixture path=internal/serve/bad.go
+package serve
+
+import "context"
+
+func fetchChunk(ctx context.Context, key string) ([]byte, error) {
+	_ = ctx
+	_ = key
+	return nil, nil
+}
+
+// refetch drops its caller's context twice over: it mints a fresh
+// Background root and passes a literal nil.
+func refetch(key string) ([]byte, error) {
+	if b, err := fetchChunk(context.Background(), key); err == nil {
+		return b, nil
+	}
+	return fetchChunk(nil, key)
+}

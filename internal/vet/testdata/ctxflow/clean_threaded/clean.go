@@ -1,0 +1,18 @@
+//sperke:fixture path=internal/serve/clean.go
+package serve
+
+import "context"
+
+func fetchChunk(ctx context.Context, key string) ([]byte, error) {
+	_ = ctx
+	_ = key
+	return nil, nil
+}
+
+// refetch threads the caller's context through every hop.
+func refetch(ctx context.Context, key string) ([]byte, error) {
+	if b, err := fetchChunk(ctx, key); err == nil {
+		return b, nil
+	}
+	return fetchChunk(ctx, key)
+}

@@ -1,0 +1,17 @@
+//sperke:fixture path=internal/transport/seam.go
+package transport
+
+import "context"
+
+// Request mirrors the real transport seam: legacy submissions carry no
+// context, and Request.Context materializes the Background root for
+// them. The function is on the ctxflow allowlist, so the fixture must
+// stay clean.
+type Request struct{ ctx context.Context }
+
+func (r *Request) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}

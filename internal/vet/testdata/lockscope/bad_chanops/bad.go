@@ -1,0 +1,33 @@
+//sperke:fixture path=internal/cluster/bad.go
+package cluster
+
+import "sync"
+
+type hub struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// push sends on a channel while the mutex is held.
+func (h *hub) push(v int) {
+	h.mu.Lock()
+	h.ch <- v
+	h.mu.Unlock()
+}
+
+// wait receives under a deferred unlock, so the lock is held for the
+// whole wait.
+func (h *hub) wait() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.ch
+}
+
+// park blocks on a select with no default while locked.
+func (h *hub) park(done chan struct{}) {
+	h.mu.Lock()
+	select {
+	case <-done:
+	}
+	h.mu.Unlock()
+}

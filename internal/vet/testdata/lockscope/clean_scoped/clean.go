@@ -1,0 +1,49 @@
+//sperke:fixture path=internal/cluster/clean.go
+package cluster
+
+import "sync"
+
+type hub struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// push releases the lock before touching the channel.
+func (h *hub) push(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- v
+}
+
+// sendAfterBranch unlocks on the early-return path inside the if; the
+// fall-through unlock still precedes the send, so nothing blocks under
+// the lock.
+func (h *hub) sendAfterBranch(v int) {
+	h.mu.Lock()
+	if v < 0 {
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	h.ch <- v
+}
+
+// poll uses a select with a default, which never blocks.
+func (h *hub) poll() (int, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case v := <-h.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// spawn starts a goroutine while locked; the goroutine body runs
+// without the lock.
+func (h *hub) spawn(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() { h.ch <- v }()
+}

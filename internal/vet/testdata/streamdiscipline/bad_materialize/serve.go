@@ -1,0 +1,9 @@
+//sperke:fixture path=internal/serve/bad.go
+package serve
+
+import "sperke/internal/dash"
+
+// respond materializes a full chunk body per request.
+func respond(n int) []byte {
+	return dash.BuildChunkBody(n)
+}

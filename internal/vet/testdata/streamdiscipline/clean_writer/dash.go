@@ -1,0 +1,9 @@
+//sperke:fixture path=internal/dash/body.go
+package dash
+
+import "io"
+
+func WriteChunkBody(w io.Writer, n int) error {
+	_, err := w.Write(make([]byte, n))
+	return err
+}

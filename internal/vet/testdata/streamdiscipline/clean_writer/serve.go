@@ -1,0 +1,13 @@
+//sperke:fixture path=internal/serve/clean.go
+package serve
+
+import (
+	"io"
+
+	"sperke/internal/dash"
+)
+
+// respond streams the chunk body writer-first.
+func respond(w io.Writer, n int) error {
+	return dash.WriteChunkBody(w, n)
+}

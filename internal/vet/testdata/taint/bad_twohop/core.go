@@ -1,0 +1,9 @@
+//sperke:fixture path=internal/core/bad.go
+package core
+
+import "sperke/internal/xutil"
+
+// tick pulls a two-hop-laundered wall-clock read into a deterministic
+// package. The per-file checker sees no time import here; only the
+// interprocedural taint pass can flag the boundary call.
+func tick() int64 { return xutil.Stamp() }

@@ -1,0 +1,8 @@
+//sperke:fixture path=internal/timeutil/timeutil.go
+package timeutil
+
+import "time"
+
+// NowNanos reads the wall clock directly — legal here, since
+// internal/timeutil is not a clock-disciplined span.
+func NowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,8 @@
+//sperke:fixture path=internal/xutil/xutil.go
+package xutil
+
+import "sperke/internal/timeutil"
+
+// Stamp launders the wall clock one hop further: no time import, no
+// direct call, but transitively wall-tainted.
+func Stamp() int64 { return timeutil.NowNanos() }

@@ -1,0 +1,6 @@
+//sperke:fixture path=internal/core/clean.go
+package core
+
+// tick takes the clock as an injected dependency, so its output is a
+// pure function of its inputs.
+func tick(now func() int64) int64 { return now() }

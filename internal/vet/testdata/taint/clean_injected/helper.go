@@ -1,0 +1,8 @@
+//sperke:fixture path=internal/timeutil/timeutil.go
+package timeutil
+
+import "time"
+
+// NowNanos is wall-tainted but never called from a clock-disciplined
+// span, so the taint stays where it is allowed to live.
+func NowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,123 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// typedFixtureAnalyzers maps each typed fixture tree to the analyzer
+// it exercises. "taint" runs clockhygiene: its module hook is the
+// cross-package taint pass, and the fixtures place the laundering
+// helpers outside the clock spans so every diagnostic they produce
+// comes from taint propagation, not the per-file rule.
+var typedFixtureAnalyzers = map[string]*Analyzer{
+	"ctxflow":          CtxFlow,
+	"lockscope":        LockScope,
+	"streamdiscipline": StreamDiscipline,
+	"taint":            ClockHygiene,
+}
+
+// TestTypedGoldenFixtures is the typed counterpart of
+// TestGoldenFixtures: each fixture is a directory forming a miniature
+// module (every file carries a //sperke:fixture path=... directive),
+// type-checked with LoadModuleSource and run through RunModule.
+// Fixtures named bad* must reproduce their .golden diagnostics exactly
+// (and at least one); clean* fixtures must come back empty.
+func TestTypedGoldenFixtures(t *testing.T) {
+	names := make([]string, 0, len(typedFixtureAnalyzers))
+	for n := range typedFixtureAnalyzers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := typedFixtureAnalyzers[name]
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("typed checker %s has no fixture dir: %v", name, err)
+			}
+			var sawBad, sawClean bool
+			for _, e := range entries {
+				if !e.IsDir() {
+					continue
+				}
+				fixture := e.Name()
+				got := runTypedFixture(t, a, filepath.Join(dir, fixture))
+				goldenPath := filepath.Join(dir, fixture+".golden")
+				if *update {
+					if got == "" {
+						os.Remove(goldenPath)
+					} else if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := ""
+				if b, err := os.ReadFile(goldenPath); err == nil {
+					want = string(b)
+				}
+				if got != want {
+					t.Errorf("%s: diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", fixture, got, want)
+				}
+				switch {
+				case strings.HasPrefix(fixture, "bad"):
+					sawBad = true
+					if got == "" {
+						t.Errorf("%s: true-positive fixture produced no diagnostics", fixture)
+					}
+				case strings.HasPrefix(fixture, "clean"):
+					sawClean = true
+					if got != "" {
+						t.Errorf("%s: clean fixture produced diagnostics:\n%s", fixture, got)
+					}
+				}
+			}
+			if !sawBad || !sawClean {
+				t.Errorf("typed checker %s needs both a bad*/ and a clean*/ fixture dir (bad=%v clean=%v)",
+					name, sawBad, sawClean)
+			}
+		})
+	}
+}
+
+// runTypedFixture assembles the fixture directory into an in-memory
+// module and returns the analyzer's findings, one formatted diagnostic
+// per line.
+func runTypedFixture(t *testing.T, a *Analyzer, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make(map[string][]byte)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := fixtureDirective.FindSubmatch(src)
+		if m == nil {
+			t.Fatalf("%s/%s: missing //sperke:fixture path=... directive", dir, e.Name())
+		}
+		srcs[string(m[1])] = src
+	}
+	if len(srcs) == 0 {
+		t.Fatalf("%s: empty fixture module", dir)
+	}
+	mod, err := LoadModuleSource(srcs)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	var sb strings.Builder
+	for _, d := range RunModule(mod, []*Analyzer{a}).Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
