@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"sperke/internal/cluster"
 	"sperke/internal/dash"
 	"sperke/internal/media"
 	"sperke/internal/serve"
@@ -144,6 +145,53 @@ func BenchmarkColdServeThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.ServeHTTP(w, req)
+	}
+	if w.n == 0 {
+		b.Fatal("no bytes served")
+	}
+}
+
+// BenchmarkWireColdServeThroughput pins the wire cluster's router
+// proxy path: a front-door GET rendezvous-routes to an edge node over
+// its loopback carrier and the router streams the edge's response body
+// into the ResponseWriter through a pooled copy block. The router
+// holds no cache of its own — every op is a full over-the-wire round
+// trip — so allocs/op is the price of one proxied request and must
+// never grow body-sized (the streamdiscipline vet bans io.ReadAll on
+// this path; benchgate pins the number).
+func BenchmarkWireColdServeThroughput(b *testing.B) {
+	v := benchVideo()
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(v); err != nil {
+		b.Fatal(err)
+	}
+	origin := serve.NewCatalogStore(catalog, serve.StoreConfig{Shards: 16, BudgetBytes: 256 << 20})
+	c, err := cluster.New(origin,
+		cluster.WithNodes(3),
+		cluster.WithLoopback(),
+		cluster.WithCatalog(catalog),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, name := range c.NodeNames() {
+			c.RemoveNode(name)
+		}
+	}()
+	front := c.FrontDoor()
+	bodyLen, err := dash.ChunkBodyLen(v, 3, 0, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/v/bench/c/3/0/0", nil)
+	w := &discardResponse{h: make(http.Header, 4)}
+	front.ServeHTTP(w, req) // warm the owning edge and the copy pool
+	b.SetBytes(int64(bodyLen))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		front.ServeHTTP(w, req)
 	}
 	if w.n == 0 {
 		b.Fatal("no bytes served")

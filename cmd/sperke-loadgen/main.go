@@ -12,6 +12,8 @@
 //	sperke-loadgen -no-http             # pure simulation, no HTTP leg
 //	sperke-loadgen -nodes 3             # edge/origin cluster topology
 //	sperke-loadgen -nodes 3 -kill-at 10s -recover-at 20s  # chaos run
+//	sperke-loadgen -nodes 3 -wire -replicas 2  # real listeners, R=2
+//	sperke-loadgen -nodes 3 -add-node-at 15s   # live membership growth
 package main
 
 import (
@@ -54,6 +56,9 @@ func run() error {
 	storeShards := flag.Int("store-shards", 16, "in-process store shard count")
 	agnostic := flag.Bool("agnostic", false, "stream FoV-agnostic instead of FoV-guided")
 	nodes := flag.Int("nodes", 0, "edge nodes in front of the origin (0 = no cluster tier)")
+	wire := flag.Bool("wire", false, "run each edge as a real HTTP process on its own loopback listener")
+	replicas := flag.Int("replicas", 1, "rendezvous owners per chunk key (R>1 = replication)")
+	addNodeAt := flag.Duration("add-node-at", 0, "grow the cluster by one edge this long into the run (0 = never)")
 	killAt := flag.Duration("kill-at", 0, "crash -kill-node this long into the run (0 = never)")
 	recoverAt := flag.Duration("recover-at", 0, "restart the killed node this long into the run (0 = never)")
 	killNode := flag.String("kill-node", "edge-1", "cluster node to crash at -kill-at")
@@ -93,19 +98,30 @@ func run() error {
 				// Cluster topology: N edge caches rendezvous-route in front
 				// of the catalog store, which becomes the origin tier.
 				var err error
-				clu, err = cluster.New(cluster.Config{
-					Nodes:           *nodes,
-					Origin:          store,
-					Catalog:         catalog,
-					NodeShards:      *storeShards,
-					NodeBudgetBytes: int64(*storeMB) << 20 / int64(*nodes),
-					Obs:             reg,
-				})
+				clu, err = cluster.New(store,
+					cluster.WithNodes(*nodes),
+					cluster.WithCatalog(catalog),
+					cluster.WithNodeShards(*storeShards),
+					cluster.WithNodeBudget(int64(*storeMB)<<20/int64(*nodes)),
+					cluster.WithReplication(*replicas),
+					cluster.WithWire(*wire),
+					cluster.WithObs(reg),
+				)
 				if err != nil {
 					return err
 				}
 				clu.StartProbes(ctx)
 				handler = clu.FrontDoor()
+				if *addNodeAt > 0 {
+					time.AfterFunc(*addNodeAt, func() {
+						n, err := clu.AddNode("")
+						if err != nil {
+							fmt.Printf("!! add node at +%v failed: %v\n", *addNodeAt, err)
+							return
+						}
+						fmt.Printf("!! added %s at +%v\n", n.ID(), *addNodeAt)
+					})
+				}
 				if *killAt > 0 {
 					name := *killNode
 					time.AfterFunc(*killAt, func() {
@@ -131,8 +147,12 @@ func run() error {
 			defer httpSrv.Close()
 			base = "http://" + ln.Addr().String()
 			if clu != nil {
-				fmt.Printf("in-process %d-edge cluster at %s (origin: %d shards, %d MiB budget)\n",
-					*nodes, base, store.Shards(), *storeMB)
+				form := "in-process"
+				if clu.Wire() {
+					form = "wire"
+				}
+				fmt.Printf("%s %d-edge cluster (R=%d) at %s (origin: %d shards, %d MiB budget)\n",
+					form, *nodes, clu.Replication(), base, store.Shards(), *storeMB)
 			} else {
 				fmt.Printf("in-process origin at %s (%d shards, %d MiB budget)\n",
 					base, store.Shards(), *storeMB)
@@ -197,10 +217,11 @@ func run() error {
 
 func printClusterSummary(clu *cluster.Cluster, reg *obs.Registry) {
 	req, fetches := clu.OffloadCounts()
-	fmt.Printf("  cluster: %d requests, %d reroutes, %d sheds, %d origin fallbacks, offload %.1f%%\n",
+	fmt.Printf("  cluster: %d requests, %d reroutes, %d sheds, %d warms, %d origin fallbacks, offload %.1f%%\n",
 		req,
 		reg.Counter("cluster.reroutes").Value(),
 		reg.Counter("cluster.sheds").Value(),
+		clu.Warms(),
 		reg.Counter("cluster.origin_fallbacks").Value(),
 		float64(reg.Gauge("cluster.origin_offload_ratio").Value())/100)
 	fmt.Printf("    health: %d down transitions, %d up transitions; origin fetches %d\n",

@@ -35,18 +35,17 @@ func main() {
 	clock := sim.NewClock(7)
 	reg := obs.NewRegistry()
 	org := &origin{}
-	c, err := cluster.New(cluster.Config{
-		Nodes:  3,
-		Origin: org,
-		Clock:  clock,
-		Obs:    reg,
-		Health: cluster.HealthConfig{
+	c, err := cluster.New(org,
+		cluster.WithNodes(3),
+		cluster.WithClock(clock),
+		cluster.WithObs(reg),
+		cluster.WithHealth(cluster.HealthConfig{
 			FailThreshold:  3,
 			ProbeSuccesses: 2,
 			Cooldown:       500 * time.Millisecond,
 			ProbeInterval:  250 * time.Millisecond,
-		},
-	})
+		}),
+	)
 	if err != nil {
 		panic(err)
 	}

@@ -1,16 +1,23 @@
-// Package cluster runs N in-process edge nodes — each a serve.Store +
-// dash.Server pair — in front of one origin ChunkSource, with chunk
-// keys routed by rendezvous hashing so membership changes move only
-// the dead node's keys. A router health layer combines periodic probes
+// Package cluster runs N edge nodes — each a serve.Store + dash.Server
+// pair — in front of one origin ChunkSource, with chunk keys routed by
+// rendezvous hashing so membership changes move only the resharded
+// keys. In the wire forms (WithWire / WithLoopback) every node is a
+// real HTTP process: its dash.Server bound to a loopback listener, the
+// router reaching it through dash.Client — so node death is an actual
+// connection refusal and re-routed responses proxy writer-first, never
+// materialized at the router. A health layer combines periodic probes
 // with passive per-request error accounting to declare nodes down and
 // up, failing requests over to the next-ranked live edge and, when no
-// edge can serve, to the origin. Each edge bounds its in-flight work
-// and sheds the excess with 503+Retry-After rather than queueing into
-// collapse; shed requests go straight to the origin instead of the
-// next edge, so one hot node's overflow cannot cascade through its
-// peers. Node crashes and recoveries can be scripted through
-// faults.Plan node-outage events (Cluster implements
-// faults.NodeTarget).
+// edge can serve, to the origin. With replication R>1 every key has R
+// rendezvous owners and served bodies are written through to the other
+// live owners, so killing any one owner costs zero incremental origin
+// fetches. Each edge bounds its in-flight work and sheds the excess
+// with 503+Retry-After rather than queueing into collapse; shed
+// requests go straight to the origin instead of the next edge, so one
+// hot node's overflow cannot cascade through its peers. Membership is
+// live — AddNode/RemoveNode under load — and node crashes and
+// recoveries can be scripted through faults.Plan node-outage events
+// (Cluster implements faults.NodeTarget).
 package cluster
 
 import (
@@ -18,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sperke/internal/dash"
@@ -25,131 +34,223 @@ import (
 	"sperke/internal/serve"
 )
 
-// Config sizes a cluster. Zero values mean defaults; only Origin is
-// required.
-type Config struct {
-	// Nodes is the edge count; 0 defaults to 3.
-	Nodes int
-	// Origin is the authoritative ChunkSource every edge cache pulls
-	// misses from. Required.
-	Origin dash.ChunkSource
-	// Catalog, when set, gives every node (and the front door) its own
-	// dash.Server so the cluster can be driven over HTTP.
-	Catalog *dash.Catalog
-	// NodeBudgetBytes caps each edge cache; 0 defaults to 64 MiB.
-	NodeBudgetBytes int64
-	// NodeShards sets each edge store's shard count; 0 defaults to 8.
-	NodeShards int
-	// MaxInFlight bounds concurrent admitted requests per edge; beyond
-	// it the edge sheds with 503+Retry-After. 0 defaults to 256.
-	MaxInFlight int
-	// RetryAfter is the backoff hint attached to sheds; 0 defaults to 1s.
-	RetryAfter time.Duration
-	// Health tunes the failure detector (see HealthConfig).
-	Health HealthConfig
-	// Clock drives breaker cooldowns and probe pacing: *sim.Clock for
-	// deterministic tests, nil for a fresh obs.NewWall().
-	Clock obs.Clock
-	// Obs receives cluster.* instruments; nil creates a private registry.
-	Obs *obs.Registry
-}
-
-func (c Config) withDefaults() (Config, error) {
-	if c.Origin == nil {
-		return c, errors.New("cluster: Config.Origin is required")
-	}
-	if c.Nodes <= 0 {
-		c.Nodes = 3
-	}
-	if c.NodeBudgetBytes <= 0 {
-		c.NodeBudgetBytes = 64 << 20
-	}
-	if c.NodeShards <= 0 {
-		c.NodeShards = 8
-	}
-	if c.MaxInFlight <= 0 {
-		c.MaxInFlight = 256
-	}
-	if c.RetryAfter <= 0 {
-		c.RetryAfter = time.Second
-	}
-	if c.Clock == nil {
-		c.Clock = obs.NewWall()
-	}
-	if c.Obs == nil {
-		c.Obs = obs.NewRegistry()
-	}
-	return c, nil
-}
-
 // clusterMetrics caches the router's own instruments.
 type clusterMetrics struct {
 	requests        *obs.Counter // front-door chunk requests
 	reroutes        *obs.Counter // served by a non-primary edge
 	sheds           *obs.Counter // refused by an edge's admission guard
+	warms           *obs.Counter // replication writes into co-owner caches
 	originFallbacks *obs.Counter // requests no edge served
 	originFetches   *obs.Counter // origin syntheses (fallbacks + edge misses)
 	offload         *obs.Gauge   // cluster.origin_offload_ratio, basis points
 }
 
+// membership is one immutable snapshot of the routing table. Routing
+// loads it once per request; AddNode/RemoveNode publish a new snapshot
+// under memMu — readers never block on membership changes.
+type membership struct {
+	ids  []string
+	byID map[string]*Node
+}
+
+func (m *membership) with(n *Node) *membership {
+	next := &membership{
+		ids:  make([]string, 0, len(m.ids)+1),
+		byID: make(map[string]*Node, len(m.ids)+1),
+	}
+	next.ids = append(next.ids, m.ids...)
+	next.ids = append(next.ids, n.id)
+	for id, node := range m.byID {
+		next.byID[id] = node
+	}
+	next.byID[n.id] = n
+	return next
+}
+
+func (m *membership) without(name string) *membership {
+	next := &membership{
+		ids:  make([]string, 0, len(m.ids)),
+		byID: make(map[string]*Node, len(m.ids)),
+	}
+	for _, id := range m.ids {
+		if id == name {
+			continue
+		}
+		next.ids = append(next.ids, id)
+		next.byID[id] = m.byID[id]
+	}
+	return next
+}
+
 // Cluster is the router: it ranks edges per key, skips the ones the
-// health layer has declared down, and falls back to the origin when no
-// edge answers. It implements dash.ChunkSource (the front door) and
-// faults.NodeTarget (scripted outages).
+// health layer has declared down, warms the key's co-owners when R>1,
+// and falls back to the origin when no edge answers. It implements
+// dash.ChunkSource (the front door) and faults.NodeTarget (scripted
+// outages).
 type Cluster struct {
-	nodes  []*Node
-	ids    []string
-	byID   map[string]*Node
 	origin dash.ChunkSource
 	front  *dash.Server
 	health *health
+	cfg    config
+	loop   *LoopbackTransport // non-nil in the loopback wire form
+
+	mem    atomic.Pointer[membership]
+	memMu  sync.Mutex // serializes membership writers; readers use mem
+	nextID atomic.Int64
 
 	probeEvery time.Duration
 	clock      obs.Clock
 
-	met clusterMetrics
-	reg *obs.Registry
+	met      clusterMetrics
+	reg      *obs.Registry
+	copyBufs *obs.BufferPool // proxy copy blocks (wire streaming path)
 }
 
-// New builds a cluster of cfg.Nodes edges named "edge-0" … "edge-N-1".
-func New(cfg Config) (*Cluster, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
+// New builds a cluster of WithNodes edges named "edge-0" … "edge-N-1"
+// around the required origin. With no options it is three in-process
+// edges; WithWire/WithLoopback put each edge behind its own HTTP
+// listener and WithReplication(R) gives every key R owners.
+func New(origin dash.ChunkSource, opts ...Option) (*Cluster, error) {
+	if origin == nil {
+		return nil, errors.New("cluster: origin is required")
 	}
-	hcfg := cfg.Health.withDefaults()
+	cfg := defaultClusterConfig()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.wire && cfg.catalog == nil {
+		return nil, errors.New("cluster: the wire forms need a catalog (WithCatalog) — each node serves chunks through its own dash.Server")
+	}
+	cfg.health = cfg.health.withDefaults()
+	if cfg.clock == nil {
+		cfg.clock = obs.NewWall()
+	}
+	if cfg.obs == nil {
+		cfg.obs = obs.NewRegistry()
+	}
 	c := &Cluster{
-		nodes:      make([]*Node, 0, cfg.Nodes),
-		ids:        make([]string, 0, cfg.Nodes),
-		byID:       make(map[string]*Node, cfg.Nodes),
-		origin:     cfg.Origin,
-		probeEvery: hcfg.ProbeInterval,
-		clock:      cfg.Clock,
-		reg:        cfg.Obs,
+		origin:     origin,
+		cfg:        cfg,
+		probeEvery: cfg.health.ProbeInterval,
+		clock:      cfg.clock,
+		reg:        cfg.obs,
 		met: clusterMetrics{
-			requests:        cfg.Obs.Counter("cluster.requests"),
-			reroutes:        cfg.Obs.Counter("cluster.reroutes"),
-			sheds:           cfg.Obs.Counter("cluster.sheds"),
-			originFallbacks: cfg.Obs.Counter("cluster.origin_fallbacks"),
-			originFetches:   cfg.Obs.Counter("cluster.origin_fetches"),
-			offload:         cfg.Obs.Gauge("cluster.origin_offload_ratio"),
+			requests:        cfg.obs.Counter("cluster.requests"),
+			reroutes:        cfg.obs.Counter("cluster.reroutes"),
+			sheds:           cfg.obs.Counter("cluster.sheds"),
+			warms:           cfg.obs.Counter("cluster.warms"),
+			originFallbacks: cfg.obs.Counter("cluster.origin_fallbacks"),
+			originFetches:   cfg.obs.Counter("cluster.origin_fetches"),
+			offload:         cfg.obs.Gauge("cluster.origin_offload_ratio"),
 		},
+		copyBufs: obs.NewSizedBufferPool(cfg.obs, "cluster.proxy", proxyBlock, proxyBlock),
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		id := fmt.Sprintf("edge-%d", i)
-		n := newNode(id, cfg.Origin, cfg.Catalog, cfg.NodeShards,
-			cfg.NodeBudgetBytes, cfg.MaxInFlight, cfg.RetryAfter,
-			cfg.Obs, c.met.originFetches.Inc)
-		c.nodes = append(c.nodes, n)
-		c.ids = append(c.ids, id)
-		c.byID[id] = n
+	if cfg.loopback {
+		c.loop = NewLoopbackTransport()
 	}
-	c.health = newHealth(hcfg, cfg.Clock, cfg.Obs, c.ids)
-	if cfg.Catalog != nil {
-		c.front = dash.NewServer(cfg.Catalog, dash.WithObs(cfg.Obs), dash.WithStore(c))
+	c.health = newHealth(cfg.health, cfg.clock, cfg.obs, nil)
+	m := &membership{byID: make(map[string]*Node, cfg.nodes)}
+	for i := 0; i < cfg.nodes; i++ {
+		id := fmt.Sprintf("edge-%d", c.nextID.Add(1)-1)
+		n, err := c.buildNode(id)
+		if err != nil {
+			for _, prev := range m.byID {
+				prev.retire()
+			}
+			return nil, err
+		}
+		m.ids = append(m.ids, id)
+		m.byID[id] = n
+		c.health.add(id)
+	}
+	c.mem.Store(m)
+	if cfg.catalog != nil {
+		store := dash.ChunkSource(c)
+		if cfg.wire {
+			// Only the wire front door advertises the streaming path, so
+			// the in-process form keeps its exact legacy behavior.
+			store = streamFront{c}
+		}
+		c.front = dash.NewServer(cfg.catalog, dash.WithObs(cfg.obs), dash.WithStore(store))
 	}
 	return c, nil
 }
+
+// buildNode constructs (and in the wire forms, starts) one edge. No
+// cluster lock is held — listeners come up before the node is
+// published to the routing table.
+func (c *Cluster) buildNode(id string) (*Node, error) {
+	n := newNode(id, c.origin, c.cfg.catalog, c.cfg.nodeShards,
+		c.cfg.nodeBudget, c.cfg.maxInFlight, c.cfg.retryAfter,
+		c.reg, c.met.originFetches.Inc)
+	if c.cfg.wire {
+		if err := n.startWire(c.loop, c.cfg.transport, c.cfg.nodeRetry, c.reg); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// AddNode grows the cluster by one edge while it serves. The node is
+// fully built — listener bound and accepting in the wire forms —
+// before it enters the routing table, so the first request rendezvous
+// hands it finds a live process. An empty name auto-assigns the next
+// "edge-N". The new node starts cold: rendezvous moves exactly the
+// keys whose ownership reshards onto it, and every other key keeps its
+// champion.
+func (c *Cluster) AddNode(name string) (*Node, error) {
+	if name == "" {
+		name = fmt.Sprintf("edge-%d", c.nextID.Add(1)-1)
+	}
+	if m := c.mem.Load(); m.byID[name] != nil {
+		return nil, fmt.Errorf("cluster: node %q already exists", name)
+	}
+	n, err := c.buildNode(name)
+	if err != nil {
+		return nil, err
+	}
+	c.memMu.Lock()
+	cur := c.mem.Load()
+	if cur.byID[name] != nil {
+		c.memMu.Unlock()
+		n.retire()
+		return nil, fmt.Errorf("cluster: node %q already exists", name)
+	}
+	c.health.add(name)
+	c.mem.Store(cur.with(n))
+	c.memMu.Unlock()
+	return n, nil
+}
+
+// RemoveNode drains one edge out of the routing table and stops it
+// (its listener closes in the wire forms). Keys it owned rendezvous to
+// the survivors; with replication the next-ranked owner already holds
+// the warmed copies, so removal costs no origin refetch for warm keys.
+// Requests already routed to the node finish against its closing
+// process and fail over normally.
+func (c *Cluster) RemoveNode(name string) error {
+	c.memMu.Lock()
+	cur := c.mem.Load()
+	n := cur.byID[name]
+	if n == nil {
+		c.memMu.Unlock()
+		return fmt.Errorf("cluster: no node %q", name)
+	}
+	c.health.remove(name)
+	c.mem.Store(cur.without(name))
+	c.memMu.Unlock()
+	n.retire()
+	return nil
+}
+
+// Replication reports R, the configured owners per key.
+func (c *Cluster) Replication() int { return c.cfg.replication }
+
+// Wire reports whether the cluster's edges are HTTP processes reached
+// over the wire.
+func (c *Cluster) Wire() bool { return c.cfg.wire }
 
 // Chunk implements dash.ChunkSource: route the key to its
 // rendezvous-ranked edges, skipping nodes the health layer holds down,
@@ -157,29 +258,40 @@ func New(cfg Config) (*Cluster, error) {
 // of the failure detector and moves on to the next-ranked edge; an
 // edge shed breaks straight to the origin — the other edges are not
 // this key's owners and pushing overflow at them just spreads the
-// overload.
+// overload. A served body is written through to the key's other live
+// cold owners when replication is on.
 func (c *Cluster) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
 	c.met.requests.Inc()
 	defer c.updateOffload()
 	key := serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer}
-	for rank, id := range Rank(key, c.ids) {
+	m := c.mem.Load()
+	ranked := Rank(key, m.ids)
+	owners := ranked[:min(c.cfg.replication, len(ranked))]
+	for rank, id := range ranked {
 		if !c.health.allow(id) {
 			continue
 		}
-		body, err := c.byID[id].Chunk(ctx, videoID, quality, tile, index, layer)
+		n := m.byID[id]
+		var body []byte
+		var err error
+		if n.client != nil {
+			body, err = c.fetchWire(ctx, n, key)
+		} else {
+			body, err = n.Chunk(ctx, videoID, quality, tile, index, layer)
+		}
 		if err == nil {
 			c.health.observe(id, nil)
 			if rank > 0 {
 				c.met.reroutes.Inc()
 			}
+			c.warmOwners(m, owners, id, key, body)
 			return body, nil
 		}
 		if ctx.Err() != nil {
 			// The caller left; don't punish the node for it.
 			return nil, err
 		}
-		var oe *dash.OverloadError
-		if errors.As(err, &oe) {
+		if isShed(err) {
 			c.met.sheds.Inc()
 			break
 		}
@@ -188,6 +300,53 @@ func (c *Cluster) Chunk(ctx context.Context, videoID string, quality, tile, inde
 	c.met.originFallbacks.Inc()
 	c.met.originFetches.Inc()
 	return c.origin.Chunk(ctx, videoID, quality, tile, index, layer)
+}
+
+// isShed reports an admission-guard refusal in either its in-process
+// (*dash.OverloadError) or over-the-wire (KindOverload *dash.Error)
+// form.
+func isShed(err error) bool {
+	var oe *dash.OverloadError
+	if errors.As(err, &oe) {
+		return true
+	}
+	var de *dash.Error
+	return errors.As(err, &de) && de.Kind == dash.KindOverload
+}
+
+// warmTargets returns the key's other owners that are alive and cold —
+// the replicas a just-served body should be written through to. The
+// health check is the non-consuming alive (a warm decision must not
+// eat a half-open breaker's trial admission).
+func (c *Cluster) warmTargets(m *membership, owners []string, served string, key serve.ChunkKey) []*Node {
+	var targets []*Node
+	for _, id := range owners {
+		if id == served {
+			continue
+		}
+		n := m.byID[id]
+		if n == nil || n.Down() || !c.health.alive(id) {
+			continue
+		}
+		if n.store.Contains(key) {
+			continue
+		}
+		targets = append(targets, n)
+	}
+	return targets
+}
+
+// warmOwners performs the replication writes for a body served on the
+// materialized path. Synchronous by design: when it returns, every
+// live co-owner holds the copy, which is what makes "kill one owner →
+// zero incremental origin fetches" an exact counter equality rather
+// than an eventually.
+func (c *Cluster) warmOwners(m *membership, owners []string, served string, key serve.ChunkKey, body []byte) {
+	for _, n := range c.warmTargets(m, owners, served, key) {
+		if n.Warm(key, body) {
+			c.met.warms.Inc()
+		}
+	}
 }
 
 // updateOffload republishes cluster.origin_offload_ratio: the fraction
@@ -214,17 +373,22 @@ func (c *Cluster) OffloadCounts() (requests, originFetches int64) {
 	return c.met.requests.Value(), c.met.originFetches.Value()
 }
 
+// Warms reports the cumulative replication writes.
+func (c *Cluster) Warms() int64 { return c.met.warms.Value() }
+
 // ProbeAll runs one active probe sweep: every node the detector lets
-// through gets a Ping, and the outcome feeds the same breakers as
-// passive traffic. Down nodes in cooldown are skipped; once the
-// cooldown passes the breaker admits trial probes, and ProbeSuccesses
-// clean ones in a row re-admit the node.
+// through gets a Ping — a real GET /v in the wire forms — and the
+// outcome feeds the same breakers as passive traffic. Down nodes in
+// cooldown are skipped; once the cooldown passes the breaker admits
+// trial probes, and ProbeSuccesses clean ones in a row re-admit the
+// node.
 func (c *Cluster) ProbeAll() {
-	for _, n := range c.nodes {
-		if !c.health.allow(n.ID()) {
+	m := c.mem.Load()
+	for _, id := range m.ids {
+		if !c.health.allow(id) {
 			continue
 		}
-		c.health.observe(n.ID(), n.Ping())
+		c.health.observe(id, m.byID[id].Ping())
 	}
 }
 
@@ -259,16 +423,17 @@ func wallSleep(ctx context.Context, d time.Duration) error {
 
 // NodeNames implements faults.NodeTarget.
 func (c *Cluster) NodeNames() []string {
-	out := make([]string, len(c.ids))
-	copy(out, c.ids)
+	m := c.mem.Load()
+	out := make([]string, len(m.ids))
+	copy(out, m.ids)
 	return out
 }
 
 // KillNode implements faults.NodeTarget: crash the named node (cache
-// dropped, every request denied) until RecoverNode. Unknown names are
-// ignored so wildcard plans stay forgiving.
+// dropped, listener closed, every request denied) until RecoverNode.
+// Unknown names are ignored so wildcard plans stay forgiving.
 func (c *Cluster) KillNode(name string) {
-	if n, ok := c.byID[name]; ok {
+	if n := c.mem.Load().byID[name]; n != nil {
 		n.Kill()
 	}
 }
@@ -277,24 +442,28 @@ func (c *Cluster) KillNode(name string) {
 // cold. The health layer still holds it down until probes or traffic
 // re-admit it.
 func (c *Cluster) RecoverNode(name string) {
-	if n, ok := c.byID[name]; ok {
+	if n := c.mem.Load().byID[name]; n != nil {
 		n.Recover()
 	}
 }
 
 // Node returns the named edge, or nil.
-func (c *Cluster) Node(id string) *Node { return c.byID[id] }
+func (c *Cluster) Node(id string) *Node { return c.mem.Load().byID[id] }
 
-// Nodes returns the edges in id order.
+// Nodes returns the current members in join order.
 func (c *Cluster) Nodes() []*Node {
-	out := make([]*Node, len(c.nodes))
-	copy(out, c.nodes)
+	m := c.mem.Load()
+	out := make([]*Node, 0, len(m.ids))
+	for _, id := range m.ids {
+		out = append(out, m.byID[id])
+	}
 	return out
 }
 
 // FrontDoor returns the cluster's HTTP entry point: a dash.Server
 // whose chunk source is the router, so every request flows through
-// rendezvous routing, health checks and failover. Nil without a
+// rendezvous routing, health checks and failover — and, in the wire
+// forms, streams proxied edge bodies writer-first. Nil without a
 // catalog.
 func (c *Cluster) FrontDoor() http.Handler {
 	if c.front == nil {

@@ -51,7 +51,7 @@ func fetchKey(t *testing.T, c *Cluster, key serve.ChunkKey) []byte {
 
 func TestChunkRoutesToTopRankedNode(t *testing.T) {
 	origin := &countingOrigin{}
-	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(3), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestChunkRoutesToTopRankedNode(t *testing.T) {
 
 func TestChunkSecondFetchIsEdgeHit(t *testing.T) {
 	origin := &countingOrigin{}
-	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(3), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +125,8 @@ func TestNodeShedsWhenSaturated(t *testing.T) {
 		}
 		return originBody(key), nil
 	})
-	c, err := New(Config{Nodes: 1, Origin: origin, MaxInFlight: 1,
-		RetryAfter: 3 * time.Second, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(1), WithMaxInFlight(1),
+		WithRetryAfter(3*time.Second), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestClusterShedGoesStraightToOrigin(t *testing.T) {
 		}
 		return originBody(key), nil
 	})
-	c, err := New(Config{Nodes: 1, Origin: origin, MaxInFlight: 1, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(1), WithMaxInFlight(1), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestClusterShedGoesStraightToOrigin(t *testing.T) {
 func TestKilledNodeFailsOverAndIsDeclaredDown(t *testing.T) {
 	origin := &countingOrigin{}
 	clock := sim.NewClock(1)
-	c, err := New(Config{Nodes: 3, Origin: origin, Clock: clock})
+	c, err := New(origin, WithNodes(3), WithClock(clock))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestKilledNodeFailsOverAndIsDeclaredDown(t *testing.T) {
 
 func TestKillDropsCacheAndRecoverComesBackCold(t *testing.T) {
 	origin := &countingOrigin{}
-	c, err := New(Config{Nodes: 1, Origin: origin, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(1), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,8 +272,8 @@ func TestKillDropsCacheAndRecoverComesBackCold(t *testing.T) {
 func TestProbesReadmitRecoveredNode(t *testing.T) {
 	origin := &countingOrigin{}
 	clock := sim.NewClock(1)
-	c, err := New(Config{Nodes: 2, Origin: origin, Clock: clock,
-		Health: HealthConfig{FailThreshold: 3, ProbeSuccesses: 2, Cooldown: 500 * time.Millisecond}})
+	c, err := New(origin, WithNodes(2), WithClock(clock),
+		WithHealth(HealthConfig{FailThreshold: 3, ProbeSuccesses: 2, Cooldown: 500 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,8 +307,40 @@ func TestProbesReadmitRecoveredNode(t *testing.T) {
 }
 
 func TestConfigRequiresOrigin(t *testing.T) {
-	if _, err := New(Config{Nodes: 3}); err == nil {
-		t.Fatal("New accepted a config without an origin")
+	if _, err := New(nil, WithNodes(3)); err == nil {
+		t.Fatal("New accepted a nil origin")
+	}
+	if _, err := NewFromConfig(Config{Nodes: 3}); err == nil {
+		t.Fatal("NewFromConfig accepted a config without an origin")
+	}
+	if _, err := New(&countingOrigin{}, WithLoopback()); err == nil {
+		t.Fatal("New accepted a wire form without a catalog")
+	}
+}
+
+// TestNewFromConfigBridge pins the deprecated Config wrapper: a
+// cluster built from the legacy struct behaves exactly like one built
+// with the equivalent options.
+func TestNewFromConfigBridge(t *testing.T) {
+	origin := &countingOrigin{}
+	c, err := NewFromConfig(Config{Nodes: 2, Origin: origin, MaxInFlight: 7,
+		RetryAfter: 2 * time.Second, Clock: sim.NewClock(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NodeNames(); len(got) != 2 {
+		t.Fatalf("NodeNames = %v, want 2 nodes", got)
+	}
+	if c.Wire() || c.Replication() != 1 {
+		t.Fatalf("legacy bridge changed semantics: wire=%v R=%d", c.Wire(), c.Replication())
+	}
+	n := c.Node("edge-0")
+	if n.maxInFlight != 7 || n.retryAfter != 2*time.Second {
+		t.Fatalf("legacy sizing lost: maxInFlight=%d retryAfter=%v", n.maxInFlight, n.retryAfter)
+	}
+	key := serve.ChunkKey{Video: "vid", Quality: 1, Tile: 2, Index: 3}
+	if got := fetchKey(t, c, key); string(got) != string(originBody(key)) {
+		t.Fatalf("bridge cluster served %q", got)
 	}
 }
 
@@ -316,7 +348,7 @@ func TestCanceledContextDoesNotPunishNode(t *testing.T) {
 	origin := originFunc(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
 		return nil, ctx.Err()
 	})
-	c, err := New(Config{Nodes: 1, Origin: origin, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(1), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +380,7 @@ func TestCanceledViewerAbortsOriginFetch(t *testing.T) {
 		aborted <- ctx.Err()
 		return nil, ctx.Err()
 	})
-	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(3), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +420,7 @@ func TestCanceledViewerDoesNotPoisonSharedFlight(t *testing.T) {
 			return originBody(key), nil
 		}
 	})
-	c, err := New(Config{Nodes: 3, Origin: origin, Clock: sim.NewClock(1)})
+	c, err := New(origin, WithNodes(3), WithClock(sim.NewClock(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,9 +31,9 @@ func TestClusterFailoverDeterministic(t *testing.T) {
 	origin := &countingOrigin{}
 	clock := sim.NewClock(7)
 	reg := obs.NewRegistry()
-	c, err := New(Config{Nodes: 3, Origin: origin, Clock: clock, Obs: reg,
-		Health: HealthConfig{FailThreshold: 3, ProbeSuccesses: 2,
-			Cooldown: 500 * time.Millisecond, ProbeInterval: 250 * time.Millisecond}})
+	c, err := New(origin, WithNodes(3), WithClock(clock), WithObs(reg),
+		WithHealth(HealthConfig{FailThreshold: 3, ProbeSuccesses: 2,
+			Cooldown: 500 * time.Millisecond, ProbeInterval: 250 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,9 +191,9 @@ func TestClusterFailoverUnderLoad(t *testing.T) {
 		dead    = "edge-1"
 	)
 	origin := &countingOrigin{}
-	c, err := New(Config{Nodes: 3, Origin: origin,
-		Health: HealthConfig{FailThreshold: 3, ProbeSuccesses: 2,
-			Cooldown: time.Millisecond, ProbeInterval: time.Millisecond}})
+	c, err := New(origin, WithNodes(3),
+		WithHealth(HealthConfig{FailThreshold: 3, ProbeSuccesses: 2,
+			Cooldown: time.Millisecond, ProbeInterval: time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,32 +54,66 @@ type health struct {
 	breakers map[string]*transport.Breaker
 	last     map[string]transport.BreakerState // last published state
 
-	alive map[string]*obs.Gauge
-	downs *obs.Counter
-	ups   *obs.Counter
+	// Kept so dynamically added members (Cluster.AddNode) get breakers
+	// built from the same recipe as the founders.
+	cfg   HealthConfig
+	clock transport.Clock
+	reg   *obs.Registry
+
+	aliveGauges map[string]*obs.Gauge
+	downs       *obs.Counter
+	ups         *obs.Counter
 }
 
 // newHealth builds the detector with every node believed alive.
 func newHealth(cfg HealthConfig, clock transport.Clock, reg *obs.Registry, ids []string) *health {
-	cfg = cfg.withDefaults()
 	h := &health{
-		breakers: make(map[string]*transport.Breaker, len(ids)),
-		last:     make(map[string]transport.BreakerState, len(ids)),
-		alive:    make(map[string]*obs.Gauge, len(ids)),
-		downs:    reg.Counter("cluster.health.down_transitions"),
-		ups:      reg.Counter("cluster.health.up_transitions"),
+		breakers:    make(map[string]*transport.Breaker, len(ids)),
+		last:        make(map[string]transport.BreakerState, len(ids)),
+		cfg:         cfg.withDefaults(),
+		clock:       clock,
+		reg:         reg,
+		aliveGauges: make(map[string]*obs.Gauge, len(ids)),
+		downs:       reg.Counter("cluster.health.down_transitions"),
+		ups:         reg.Counter("cluster.health.up_transitions"),
 	}
 	for _, id := range ids {
-		h.breakers[id] = transport.NewBreaker(clock, transport.BreakerConfig{
-			FailureThreshold: cfg.FailThreshold,
-			Cooldown:         cfg.Cooldown,
-			ProbeSuccesses:   cfg.ProbeSuccesses,
-		})
-		g := reg.Gauge("cluster.health." + id + ".alive")
-		g.Set(1)
-		h.alive[id] = g
+		h.add(id)
 	}
 	return h
+}
+
+// add registers one node with the detector, believed alive and with a
+// fresh breaker — a re-added name does not inherit its predecessor's
+// failure history. Idempotent for present members.
+func (h *health) add(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.breakers[id] != nil {
+		return
+	}
+	h.breakers[id] = transport.NewBreaker(h.clock, transport.BreakerConfig{
+		FailureThreshold: h.cfg.FailThreshold,
+		Cooldown:         h.cfg.Cooldown,
+		ProbeSuccesses:   h.cfg.ProbeSuccesses,
+	})
+	delete(h.last, id)
+	g := h.reg.Gauge("cluster.health." + id + ".alive")
+	g.Set(1)
+	h.aliveGauges[id] = g
+}
+
+// remove forgets one node; its gauge drops to 0 and later allow calls
+// for the name refuse.
+func (h *health) remove(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if g := h.aliveGauges[id]; g != nil {
+		g.Set(0)
+	}
+	delete(h.breakers, id)
+	delete(h.last, id)
+	delete(h.aliveGauges, id)
 }
 
 // allow reports whether a request (or probe) may be sent to the node
@@ -113,6 +147,17 @@ func (h *health) observe(id string, err error) {
 	h.publishLocked(id)
 }
 
+// alive reports whether the node is currently believed healthy.
+// Unlike allow it never consumes a half-open breaker's trial
+// admission, so warm decisions and snapshots cannot eat the token a
+// probe needs.
+func (h *health) alive(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.breakers[id]
+	return b != nil && b.State() == transport.BreakerClosed
+}
+
 // state reports the node's current breaker state.
 func (h *health) state(id string) transport.BreakerState {
 	h.mu.Lock()
@@ -139,7 +184,7 @@ func (h *health) publishLocked(id string) {
 	h.last[id] = s
 	switch {
 	case s == transport.BreakerOpen:
-		h.alive[id].Set(0)
+		h.aliveGauges[id].Set(0)
 		// Re-opening from a failed half-open probe is the same outage
 		// continuing, not a new down transition.
 		if !seen || prev == transport.BreakerClosed {
@@ -147,6 +192,6 @@ func (h *health) publishLocked(id string) {
 		}
 	case s == transport.BreakerClosed && seen && prev != transport.BreakerClosed:
 		h.ups.Inc()
-		h.alive[id].Set(1)
+		h.aliveGauges[id].Set(1)
 	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -15,7 +16,9 @@ import (
 // ErrNodeDown is the in-process stand-in for connection-refused: the
 // node crashed (KillNode / a faults node-outage event) and answers
 // nothing until it recovers. It wraps dash.ErrUnavailable so a node
-// served directly over HTTP maps it to 503.
+// served directly over HTTP maps it to 503. In the wire form the
+// router does not see this error at all — it sees the actual refused
+// connection from the node's closed listener.
 var ErrNodeDown = fmt.Errorf("cluster: node down: %w", dash.ErrUnavailable)
 
 // Node is one edge of the cluster: a serve.Store + dash.Server pair
@@ -24,6 +27,12 @@ var ErrNodeDown = fmt.Errorf("cluster: node down: %w", dash.ErrUnavailable)
 // one key costs the origin one synthesis — and the admission guard
 // bounds in-flight work, shedding the excess with 503+Retry-After so a
 // cascade from a failed peer is shed, not amplified.
+//
+// In the wire form the node additionally owns a real HTTP process: its
+// dash.Server bound to a loopback listener (or an in-process
+// LoopbackTransport host), with the router reaching it only through a
+// dash.Client. Kill closes the listener — requests meet an actual
+// connection refusal — and Recover re-binds the same address.
 type Node struct {
 	id     string
 	store  *serve.Store
@@ -34,7 +43,27 @@ type Node struct {
 	maxInFlight int64
 	retryAfter  time.Duration
 
+	// Wire lifecycle. addr is recorded at the first bind and reused by
+	// Recover so the node's identity (its address) survives a crash;
+	// accepting gates the LoopbackTransport the way a live listener
+	// gates a dial; rt holds the current listener+server pair, swapped
+	// atomically so Kill never races a concurrent relisten.
+	wireMode bool
+	loop     *LoopbackTransport
+	addr     string
+	baseURL  string
+	client   *dash.Client
+	rt       atomic.Pointer[wireRuntime]
+
+	accepting atomic.Bool
+
 	met nodeMetrics
+}
+
+// wireRuntime is one incarnation of a node's listening process.
+type wireRuntime struct {
+	ln  net.Listener
+	srv *http.Server
 }
 
 // nodeMetrics caches the node's instruments; nil fields no-op.
@@ -71,18 +100,86 @@ func newNode(id string, origin dash.ChunkSource, catalog *dash.Catalog,
 	// the last interested caller departs — so a canceled viewer aborts
 	// an origin fetch nobody else wants, without poisoning a body other
 	// viewers are waiting on.
-	n.store = serve.NewCtxStore(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
+	n.store = serve.New(serve.WithCtxSynth(func(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
 		n.met.misses.Inc()
 		if onOriginFetch != nil {
 			onOriginFetch()
 		}
 		return origin.Chunk(ctx, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
-	}, serve.StoreConfig{Shards: shards, BudgetBytes: budget})
+	}), serve.WithShards(shards), serve.WithBudget(budget))
 	if catalog != nil {
 		n.server = dash.NewServer(catalog, dash.WithObs(reg), dash.WithStore(n))
 	}
 	return n
 }
+
+// startWire turns the node into an HTTP process and builds the client
+// the router will reach it through. Exactly one of three wire carriers
+// applies: an in-process LoopbackTransport (deterministic tests and
+// benchmarks), a caller-supplied RoundTripper (fault injection), or —
+// the default — a real TCP listener on 127.0.0.1.
+func (n *Node) startWire(loop *LoopbackTransport, rt http.RoundTripper,
+	retry dash.RetryPolicy, reg *obs.Registry) error {
+	n.wireMode = true
+	switch {
+	case loop != nil:
+		n.loop = loop
+		n.baseURL = "http://" + n.loopbackHost()
+		loop.register(n.loopbackHost(), n)
+		n.client = dash.NewClient(n.baseURL,
+			dash.WithTransport(loop), dash.WithRetry(retry), dash.WithClientObs(reg))
+	case rt != nil:
+		n.baseURL = "http://" + n.loopbackHost()
+		n.client = dash.NewClient(n.baseURL,
+			dash.WithTransport(rt), dash.WithRetry(retry), dash.WithClientObs(reg))
+	default:
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("cluster: bind %s: %w", n.id, err)
+		}
+		n.addr = ln.Addr().String()
+		n.baseURL = "http://" + n.addr
+		n.serveOn(ln)
+		n.client = dash.NewClient(n.baseURL,
+			dash.WithRetry(retry), dash.WithClientObs(reg))
+	}
+	n.accepting.Store(true)
+	return nil
+}
+
+// loopbackHost is the node's synthetic host name on transport-backed
+// wire carriers.
+func (n *Node) loopbackHost() string { return n.id + ".edge.sperke" }
+
+// serveOn starts the node's HTTP server on ln and records the runtime
+// so Kill can close it.
+func (n *Node) serveOn(ln net.Listener) {
+	srv := &http.Server{Handler: n.server}
+	n.rt.Store(&wireRuntime{ln: ln, srv: srv})
+	go func() {
+		// Serve returns on Close with ErrServerClosed; nothing to do —
+		// Kill/retire own the lifecycle.
+		_ = srv.Serve(ln)
+	}()
+}
+
+// relisten re-binds the node's recorded address after a crash.
+func (n *Node) relisten() error {
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		return fmt.Errorf("cluster: rebind %s on %s: %w", n.id, n.addr, err)
+	}
+	n.serveOn(ln)
+	return nil
+}
+
+// Addr returns the node's listen address ("127.0.0.1:port") in the
+// real-listener wire form, or "" otherwise.
+func (n *Node) Addr() string { return n.addr }
+
+// BaseURL returns the URL the router's client dials for this node; ""
+// outside the wire form.
+func (n *Node) BaseURL() string { return n.baseURL }
 
 // ID returns the node's name ("edge-0", "edge-1", …).
 func (n *Node) ID() string { return n.id }
@@ -91,33 +188,87 @@ func (n *Node) ID() string { return n.id }
 func (n *Node) Down() bool { return n.down.Load() }
 
 // Kill crashes the node: its cache is dropped (a restarted process
-// comes back cold) and every request or probe fails with ErrNodeDown
-// until Recover. Idempotent.
+// comes back cold), its listener — when it has one — closes so
+// in-flight and future connections meet a real refusal, and every
+// in-process request or probe fails with ErrNodeDown until Recover.
+// Idempotent.
 func (n *Node) Kill() {
 	if n.down.Swap(true) {
 		return
 	}
 	n.met.up.Set(0)
+	n.accepting.Store(false)
 	n.store.Reset()
+	if rt := n.rt.Swap(nil); rt != nil {
+		// Close (not Shutdown): a crash does not drain gracefully.
+		_ = rt.srv.Close()
+	}
 }
 
-// Recover restarts a killed node (cold — Kill dropped the cache).
-// Idempotent.
+// Recover restarts a killed node (cold — Kill dropped the cache) and,
+// in the real-listener wire form, re-binds its recorded address. If
+// the port cannot be re-taken the node stays unreachable and the
+// health layer keeps routing around it. Idempotent.
 func (n *Node) Recover() {
 	if !n.down.Swap(false) {
 		return
 	}
 	n.met.up.Set(1)
+	if n.wireMode && n.addr != "" {
+		if err := n.relisten(); err != nil {
+			return
+		}
+	}
+	n.accepting.Store(true)
+}
+
+// retire permanently stops the node after removal from the membership:
+// listener closed, loopback host deregistered, gauge dropped. Not
+// idempotent-sensitive — the cluster calls it exactly once, after the
+// node left the routing table.
+func (n *Node) retire() {
+	n.accepting.Store(false)
+	n.down.Store(true)
+	n.met.up.Set(0)
+	if n.loop != nil {
+		n.loop.deregister(n.loopbackHost())
+	}
+	if rt := n.rt.Swap(nil); rt != nil {
+		_ = rt.srv.Close()
+	}
 }
 
 // Ping is the active health probe: nil iff the node can take traffic.
-// It deliberately ignores load — an overloaded node is alive, and
-// declaring it dead would amplify the cascade shedding exists to stop.
+// In the wire form it is a real GET /v through the node's client — a
+// closed listener fails it the honest way. It deliberately ignores
+// load — an overloaded node is alive, and declaring it dead would
+// amplify the cascade shedding exists to stop.
 func (n *Node) Ping() error {
 	if n.down.Load() {
 		return fmt.Errorf("cluster: probe %s: %w", n.id, ErrNodeDown)
 	}
+	if n.client != nil {
+		return n.client.Ping(probeCtx())
+	}
 	return nil
+}
+
+// openWire opens the chunk as a stream through the node's HTTP client.
+// This is the cluster's one client-facing seam — the clockhygiene
+// allowlist names it, since the client's retry machinery owns the real
+// backoff timers.
+func (n *Node) openWire(ctx context.Context, key serve.ChunkKey) (dash.ChunkStream, error) {
+	return n.client.OpenChunk(ctx, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+}
+
+// Warm hands the node a pre-built body for key — the replication write
+// path. A down node refuses (its restarted cache must come back cold);
+// a resident key is left alone. Reports whether the body went in.
+func (n *Node) Warm(key serve.ChunkKey, body []byte) bool {
+	if n.down.Load() {
+		return false
+	}
+	return n.store.Put(key, body)
 }
 
 // Chunk implements dash.ChunkSource. A down node fails immediately
@@ -165,3 +316,9 @@ func (n *Node) Hits() int64 { return n.Requests() - n.Misses() }
 
 // InFlight reports the admission guard's current occupancy.
 func (n *Node) InFlight() int64 { return n.inflight.Load() }
+
+// probeCtx is the root context for router-initiated probes — probes
+// belong to no request, so there is nothing to inherit from. Named (and
+// allowlisted by the ctxflow checker) to keep context.Background out of
+// the rest of the package.
+func probeCtx() context.Context { return context.Background() }

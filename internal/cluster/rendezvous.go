@@ -49,6 +49,15 @@ func rendezvousScore(node string, key serve.ChunkKey) uint64 {
 // the set promotes each of its keys to that key's next-ranked node and
 // moves nothing else. Ties (astronomically unlikely with 64-bit
 // scores) break by name so the order stays total.
+// Owners returns the key's R rendezvous owners — the Rank prefix —
+// clamped to the node set. With replication R>1 these are the caches a
+// served body is written through to; removing any single owner leaves
+// the key with R-1 surviving owners, all already warm.
+func Owners(key serve.ChunkKey, nodes []string, r int) []string {
+	ranked := Rank(key, nodes)
+	return ranked[:min(r, len(ranked))]
+}
+
 func Rank(key serve.ChunkKey, nodes []string) []string {
 	type scored struct {
 		id string

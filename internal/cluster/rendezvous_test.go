@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"sperke/internal/serve"
@@ -98,6 +99,113 @@ func TestRendezvousScoreSeparatesNodeAndKey(t *testing.T) {
 	}
 	if rendezvousScore("edge-0", k1) == rendezvousScore("edge-1", k1) {
 		t.Fatal("distinct nodes scored identically for one key")
+	}
+}
+
+// TestRankPropertyMinimalMovementUnderChurn is the property form of
+// the minimal-movement guarantee: across seeded random memberships and
+// random add/remove steps, an addition may move keys only onto the new
+// member, and a removal moves only the removed member's keys — each to
+// its next-ranked survivor.
+func TestRankPropertyMinimalMovementUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(360))
+	keys := testKeys(200)
+	for trial := 0; trial < 25; trial++ {
+		pool := rng.Perm(64)
+		size := 3 + rng.Intn(8)
+		nodes := make([]string, size)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("edge-%d", pool[i])
+		}
+		if rng.Intn(2) == 0 {
+			// Addition: only the newcomer may steal.
+			joined := fmt.Sprintf("edge-%d", pool[size])
+			grown := append(append([]string{}, nodes...), joined)
+			stolen := 0
+			for _, key := range keys {
+				was, now := Rank(key, nodes)[0], Rank(key, grown)[0]
+				if now == joined {
+					stolen++
+					continue
+				}
+				if now != was {
+					t.Fatalf("trial %d: key %v moved %s→%s though %s joined", trial, key, was, now, joined)
+				}
+			}
+			if stolen == 0 {
+				t.Fatalf("trial %d: newcomer %s stole nothing from %d nodes", trial, joined, size)
+			}
+			continue
+		}
+		// Removal: only the departed member's keys move, each to its
+		// next-ranked survivor.
+		dead := nodes[rng.Intn(size)]
+		survivors := make([]string, 0, size-1)
+		for _, id := range nodes {
+			if id != dead {
+				survivors = append(survivors, id)
+			}
+		}
+		for _, key := range keys {
+			before := Rank(key, nodes)
+			after := Rank(key, survivors)
+			if before[0] == dead {
+				if after[0] != before[1] {
+					t.Fatalf("trial %d: key %v moved to %s, want next-ranked %s", trial, key, after[0], before[1])
+				}
+				continue
+			}
+			if after[0] != before[0] {
+				t.Fatalf("trial %d: key %v moved %s→%s though %s departed", trial, key, before[0], after[0], dead)
+			}
+		}
+	}
+}
+
+// TestOwnersSurviveSingleRemoval is the replication placement property:
+// with R=2, after removing any single member every key keeps at least
+// one of its previous owners in its new owner set — the copy that makes
+// the removal free for warm keys.
+func TestOwnersSurviveSingleRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(361))
+	keys := testKeys(150)
+	for trial := 0; trial < 15; trial++ {
+		pool := rng.Perm(64)
+		size := 3 + rng.Intn(6)
+		nodes := make([]string, size)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("edge-%d", pool[i])
+		}
+		for _, dead := range nodes {
+			survivors := make([]string, 0, size-1)
+			for _, id := range nodes {
+				if id != dead {
+					survivors = append(survivors, id)
+				}
+			}
+			for _, key := range keys {
+				was := Owners(key, nodes, 2)
+				now := Owners(key, survivors, 2)
+				if len(was) != 2 || len(now) != 2 {
+					t.Fatalf("trial %d: owner sets sized %d/%d, want 2/2", trial, len(was), len(now))
+				}
+				kept := false
+				for _, old := range was {
+					if old == dead {
+						continue
+					}
+					for _, cur := range now {
+						if cur == old {
+							kept = true
+						}
+					}
+				}
+				if !kept {
+					t.Fatalf("trial %d: key %v lost both prior owners %v after removing %s (now %v)",
+						trial, key, was, dead, now)
+				}
+			}
+		}
 	}
 }
 

@@ -132,9 +132,56 @@ type Client struct {
 	Obs *obs.Registry
 }
 
-// NewClient builds a client for a server root URL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL}
+// ClientOption configures a Client at construction. The exported
+// struct fields remain writable for legacy call sites; options are the
+// composable form new code uses.
+type ClientOption func(*Client)
+
+// WithTransport routes the client's requests through rt — the seam the
+// cluster router and tests use to splice in loopback, httptest or
+// fault-injecting transports without touching global state. The
+// transport rides a private http.Client with DefaultTimeout; combine
+// with WithHTTPClient instead when the whole client needs replacing.
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) {
+		if rt != nil {
+			c.HTTPClient = &http.Client{Transport: rt, Timeout: DefaultTimeout}
+		}
+	}
+}
+
+// WithHTTPClient sets the exact *http.Client used; nil is ignored.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.HTTPClient = hc
+		}
+	}
+}
+
+// WithRetry sets the retry policy (zero fields keep the RetryPolicy
+// defaults; MaxAttempts < 0 disables retries entirely).
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.Retry = p }
+}
+
+// WithClientObs wires the client's dash.client.* instruments into a
+// registry.
+func WithClientObs(r *obs.Registry) ClientOption {
+	return func(c *Client) { c.Obs = r }
+}
+
+// NewClient builds a client for a server root URL. Options are
+// variadic so every pre-existing NewClient(base) call site compiles
+// unchanged; nil options are ignored.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: baseURL}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -180,22 +227,7 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		kind := KindFatal
-		var retryAfter time.Duration
-		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
-			kind = KindTransient
-			// A Retry-After on a shed response upgrades the classification:
-			// the server is alive but drowning, and told us when to come
-			// back.
-			if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
-				kind, retryAfter = KindOverload, ra
-			}
-		}
-		return nil, &Error{
-			Op: path, Kind: kind, Status: resp.StatusCode, RetryAfter: retryAfter,
-			Err: fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)),
-		}
+		return nil, statusError(path, resp)
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -204,6 +236,27 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 		return nil, &Error{Op: path, Kind: classifyCtx(ctx, err), Err: err}
 	}
 	return data, nil
+}
+
+// statusError classifies a non-200 response into the typed taxonomy,
+// consuming up to 256 bytes of the body for the message. 5xx and 429
+// are transient; a Retry-After on a shed response upgrades the
+// classification to overload — the server is alive but drowning, and
+// told us when to come back. The caller still owns closing resp.Body.
+func statusError(path string, resp *http.Response) *Error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	kind := KindFatal
+	var retryAfter time.Duration
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		kind = KindTransient
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+			kind, retryAfter = KindOverload, ra
+		}
+	}
+	return &Error{
+		Op: path, Kind: kind, Status: resp.StatusCode, RetryAfter: retryAfter,
+		Err: fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)),
+	}
 }
 
 // get runs the bounded-retry loop around getOnce.
@@ -271,6 +324,97 @@ func (c *Client) FetchChunk(ctx context.Context, videoID string, q, tile, idx in
 // upgrade primitive of §3.1.1.
 func (c *Client) FetchLayer(ctx context.Context, videoID string, layer, tile, idx int) (FetchResult, error) {
 	return c.fetchSegment(ctx, chunkPath(videoID, layer, tile, idx, true))
+}
+
+// ChunkStream is one opened chunk download: the live response body,
+// ready to stream, plus the wire length from Content-Length (-1 when
+// the server did not declare one). The caller owns closing Body.
+type ChunkStream struct {
+	Body   io.ReadCloser
+	Length int64
+	// Attempts is how many tries reaching the response headers took.
+	Attempts int
+}
+
+// openOnce performs a single streaming attempt: headers classified
+// through the same taxonomy as getOnce, but the body is returned live
+// instead of materialized. No per-attempt timeout wraps the request —
+// it would keep ticking under the returned body and cut it mid-copy;
+// the caller's ctx and the http.Client's own Timeout still bound the
+// exchange.
+func (c *Client) openOnce(ctx context.Context, path string) (ChunkStream, *Error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return ChunkStream{}, &Error{Op: path, Kind: KindFatal, Err: err}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return ChunkStream{}, &Error{Op: path, Kind: classifyCtx(ctx, err), Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		derr := statusError(path, resp)
+		resp.Body.Close()
+		return ChunkStream{}, derr
+	}
+	return ChunkStream{Body: resp.Body, Length: resp.ContentLength}, nil
+}
+
+// OpenChunk starts one chunk download and returns the response body
+// without materializing it — the wire cluster's proxy primitive. The
+// bounded-retry loop (same taxonomy and Retry-After floors as the
+// Fetch methods) covers everything up to the response headers; once a
+// 200 arrives the body streams on the caller's context and mid-body
+// failures are the caller's to handle — bytes may already have been
+// forwarded downstream, so nothing can be transparently retried.
+func (c *Client) OpenChunk(ctx context.Context, videoID string, q, tile, idx int, layer bool) (ChunkStream, error) {
+	path := chunkPath(videoID, q, tile, idx, layer)
+	pol := c.Retry.withDefaults()
+	for attempt := 1; ; attempt++ {
+		c.Obs.Counter("dash.client.attempts").Inc()
+		st, derr := c.openOnce(ctx, path)
+		if derr == nil {
+			st.Attempts = attempt
+			c.Obs.Counter("dash.client.opens").Inc()
+			return st, nil
+		}
+		derr.Attempts = attempt
+		if !derr.Retryable() || attempt >= pol.MaxAttempts {
+			c.Obs.Counter("dash.client.errors." + derr.Kind.String()).Inc()
+			return ChunkStream{}, derr
+		}
+		c.Obs.Counter("dash.client.retries").Inc()
+		delay := pol.backoff(attempt)
+		if derr.Kind == KindOverload && derr.RetryAfter > delay {
+			delay = derr.RetryAfter
+			c.Obs.Counter("dash.client.retry_after_floors").Inc()
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			derr.Kind = KindCanceled
+			c.Obs.Counter("dash.client.errors." + derr.Kind.String()).Inc()
+			return ChunkStream{}, derr
+		}
+	}
+}
+
+// Ping performs one cheap liveness probe: a single GET /v attempt, no
+// retries — probe loops bring their own pacing, and retrying inside a
+// probe would only blur the failure detector's picture.
+func (c *Client) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v", nil)
+	if err != nil {
+		return &Error{Op: "/v", Kind: KindFatal, Err: err}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return &Error{Op: "/v", Kind: classifyCtx(ctx, err), Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError("/v", resp)
+	}
+	// Drain the (tiny) listing so the connection is reusable.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	return nil
 }
 
 func (c *Client) fetchSegment(ctx context.Context, path string) (FetchResult, error) {

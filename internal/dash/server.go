@@ -94,6 +94,19 @@ type ChunkSource interface {
 	Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error)
 }
 
+// ChunkStreamer is the streaming counterpart of ChunkSource: instead
+// of returning a materialized body it writes the chunk straight into
+// the caller's ResponseWriter, setting Content-Type and Content-Length
+// itself before the first byte when it knows the length. The wire
+// cluster's router implements it to proxy edge responses without
+// buffering them. A Server whose Store also implements ChunkStreamer
+// serves chunk bodies through this path; it reports the bytes written
+// so the server can tell a clean failure (nothing sent, map the error
+// to a status) from a poisoned response (bytes on the wire, abandon).
+type ChunkStreamer interface {
+	StreamChunk(ctx context.Context, w http.ResponseWriter, videoID string, quality, tile, index int, layer bool) (int64, error)
+}
+
 // Server serves manifests and segments over HTTP:
 //
 //	GET /v/{video}/manifest.mpd
@@ -333,29 +346,29 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if st, ok := s.Store.(ChunkStreamer); ok {
+		// Streaming source: the body flows straight from the source into
+		// the response writer — nothing is materialized here. Once bytes
+		// are on the wire (or the client has left) a failure can only be
+		// abandoned, not repaired into an error status.
+		n, err := st.StreamChunk(r.Context(), w, v.ID, q, tile, idx, isLayer)
+		if err != nil {
+			if n > 0 || r.Context().Err() != nil {
+				markAborted(w)
+				s.Log.Debug("dash: streamed chunk aborted", "video", v.ID, "err", err)
+				return
+			}
+			// The streamer may have promised a length before its source
+			// failed; an error body under a stale Content-Length would
+			// truncate or pad on the wire.
+			w.Header().Del("Content-Length")
+			s.writeChunkError(w, r, v.ID, err)
+		}
+		return
+	}
 	body, err := s.Store.Chunk(r.Context(), v.ID, q, tile, idx, isLayer)
 	if err != nil {
-		if r.Context().Err() != nil {
-			// The client went away while we waited on the store; there is
-			// nobody left to answer.
-			markAborted(w)
-			s.Log.Debug("dash: chunk request canceled", "video", v.ID, "err", err)
-			return
-		}
-		var oe *OverloadError
-		switch {
-		case errors.As(err, &oe):
-			// The source shed us under load: 503 with the Retry-After hint
-			// so a resilient client backs off instead of hammering.
-			if secs := retryAfterSeconds(oe.RetryAfter); secs > 0 {
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
-			}
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		case errors.Is(err, ErrUnavailable):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		s.writeChunkError(w, r, v.ID, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -363,6 +376,31 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(body); err != nil {
 		markAborted(w)
 		s.Log.Debug("dash: segment write aborted", "video", v.ID, "err", err)
+	}
+}
+
+// writeChunkError maps a chunk-source failure onto the wire: a caller
+// that went away is an abort (nobody left to answer), an overload shed
+// is 503 with the Retry-After hint so a resilient client backs off
+// instead of hammering, unavailability is a plain 503, and anything
+// else a 500.
+func (s *Server) writeChunkError(w http.ResponseWriter, r *http.Request, videoID string, err error) {
+	if r.Context().Err() != nil {
+		markAborted(w)
+		s.Log.Debug("dash: chunk request canceled", "video", videoID, "err", err)
+		return
+	}
+	var oe *OverloadError
+	switch {
+	case errors.As(err, &oe):
+		if secs := retryAfterSeconds(oe.RetryAfter); secs > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -41,3 +41,17 @@ func NewCatalogStore(cat *dash.Catalog, cfg StoreConfig) *Store {
 func (s *Store) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
 	return s.Get(ctx, ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer})
 }
+
+// ChunkTo streams the addressed chunk body into w: a Get (cache hit,
+// or the synthesis it triggers) followed by one write of the sealed
+// body — no second body-sized copy anywhere. Paired with ChunkLen it
+// is the streaming origin seam the cluster's wire router uses for
+// re-routed cold misses.
+func (s *Store) ChunkTo(ctx context.Context, w io.Writer, videoID string, quality, tile, index int, layer bool) (int64, error) {
+	body, err := s.Get(ctx, ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer})
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(body)
+	return int64(n), err
+}

@@ -116,6 +116,17 @@ type WriterSynth struct {
 // only when its interest count — leader plus waiters — drops to zero.
 type CtxSynth func(ctx context.Context, key ChunkKey) ([]byte, error)
 
+// CtxWriterSynth combines the writer-first and cancellation-aware miss
+// paths: Size reports the exact body length, Write streams it on the
+// flight's shared context (see CtxSynth for the cancellation contract,
+// WriterSynth for the sizing one). Misses stream straight into the
+// exact-size sealed allocation and abort mid-stream when the last
+// interested caller departs.
+type CtxWriterSynth struct {
+	Size  func(key ChunkKey) (int, error)
+	Write func(ctx context.Context, w io.Writer, key ChunkKey) error
+}
+
 // StoreConfig tunes a Store. The zero value gives 16 shards and a
 // 256 MiB budget with no metrics.
 type StoreConfig struct {
@@ -201,63 +212,186 @@ type Store struct {
 	// flight runs on its own context, canceled when every sharing
 	// caller has departed.
 	ctxSynth CtxSynth
+	// ctxWriter, when set, is the cancellation-aware writer-first miss
+	// path: per-flight context and exact-size streaming combined.
+	ctxWriter CtxWriterSynth
 	// scratch recycles miss-path build buffers
 	// (serve.store.pool_hits / pool_misses).
 	scratch *obs.BufferPool
 	met     storeMetrics
 }
 
+// ctxAware reports whether misses run on a per-flight context.
+func (s *Store) ctxAware() bool {
+	return s.ctxSynth != nil || s.ctxWriter.Write != nil
+}
+
 // maxPooledScratch caps recycled scratch capacity; larger buffers are
 // dropped on Put instead of pinning memory.
 const maxPooledScratch = 8 << 20
 
+// Option configures a Store built by New. Exactly one synthesis option
+// (WithSynth, WithAppendSynth, WithWriterSynth, WithCtxSynth or
+// WithCtxWriterSynth) must be supplied; the sizing options are
+// orthogonal and optional. Nil options are ignored.
+type Option func(*storeOptions)
+
+type storeOptions struct {
+	cfg         StoreConfig
+	synth       Synth
+	appendSynth AppendSynth
+	writerSynth WriterSynth
+	ctxSynth    CtxSynth
+	ctxWriter   CtxWriterSynth
+}
+
+// WithSynth sets the plain miss path: build the whole body, let the
+// store seal a private exact-size copy.
+func WithSynth(synth Synth) Option {
+	return func(o *storeOptions) { o.synth = synth }
+}
+
+// WithAppendSynth sets the allocation-light miss path: build into the
+// store's pooled scratch so only the sealed copy survives a miss.
+func WithAppendSynth(synth AppendSynth) Option {
+	return func(o *storeOptions) { o.appendSynth = synth }
+}
+
+// WithWriterSynth sets the writer-first miss path: misses allocate the
+// sealed body at its exact final size and stream into it, skipping
+// both the scratch buffer and the sealing copy of the append path.
+// This is the writer-first single source of truth — the same Write
+// that streams a body to a socket fills the cache, so cached and
+// streamed bytes cannot diverge.
+func WithWriterSynth(ws WriterSynth) Option {
+	return func(o *storeOptions) { o.writerSynth = ws }
+}
+
+// WithCtxSynth sets the cancellation-aware miss path. Misses
+// synthesize on a per-flight context: the flight is shared
+// singleflight-style by every concurrent caller for the key, and is
+// canceled only when the last of them departs, so a canceled viewer
+// aborts an origin fetch nobody else wants without poisoning a body
+// other viewers are waiting on.
+func WithCtxSynth(synth CtxSynth) Option {
+	return func(o *storeOptions) { o.ctxSynth = synth }
+}
+
+// WithCtxWriterSynth sets the combined miss path: per-flight
+// cancellation and exact-size streaming in one synthesizer.
+func WithCtxWriterSynth(ws CtxWriterSynth) Option {
+	return func(o *storeOptions) { o.ctxWriter = ws }
+}
+
+// WithShards sets the shard count (rounded up to a power of two);
+// values <= 0 keep the default of 16.
+func WithShards(n int) Option {
+	return func(o *storeOptions) { o.cfg.Shards = n }
+}
+
+// WithBudget sets the global cache budget in bytes, partitioned evenly
+// across shards; values <= 0 keep the default of 256 MiB.
+func WithBudget(b int64) Option {
+	return func(o *storeOptions) { o.cfg.BudgetBytes = b }
+}
+
+// WithObs wires the store's serve.store.* instruments into a registry.
+func WithObs(r *obs.Registry) Option {
+	return func(o *storeOptions) { o.cfg.Obs = r }
+}
+
+// withStoreConfig applies a legacy StoreConfig wholesale — the bridge
+// the deprecated constructors ride.
+func withStoreConfig(cfg StoreConfig) Option {
+	return func(o *storeOptions) { o.cfg = cfg }
+}
+
+// New builds a store from functional options. Exactly one synthesis
+// option selects the miss path; supplying none (or several) is a
+// programming error and panics, matching the legacy constructors'
+// nil-synth behavior.
+func New(opts ...Option) *Store {
+	var o storeOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	set := 0
+	if o.synth != nil {
+		set++
+	}
+	if o.appendSynth != nil {
+		set++
+	}
+	if o.writerSynth.Size != nil || o.writerSynth.Write != nil {
+		if o.writerSynth.Size == nil || o.writerSynth.Write == nil {
+			panic("serve: WithWriterSynth needs both Size and Write")
+		}
+		set++
+	}
+	if o.ctxSynth != nil {
+		set++
+	}
+	if o.ctxWriter.Size != nil || o.ctxWriter.Write != nil {
+		if o.ctxWriter.Size == nil || o.ctxWriter.Write == nil {
+			panic("serve: WithCtxWriterSynth needs both Size and Write")
+		}
+		set++
+	}
+	if set != 1 {
+		panic("serve: New needs exactly one synthesis option (WithSynth, WithAppendSynth, WithWriterSynth, WithCtxSynth or WithCtxWriterSynth)")
+	}
+	s := newStore(o.synth, o.appendSynth, o.cfg)
+	s.writerSynth = o.writerSynth
+	s.ctxSynth = o.ctxSynth
+	s.ctxWriter = o.ctxWriter
+	return s
+}
+
 // NewStore builds a store over a synthesis function.
+//
+// Deprecated: use New(WithSynth(synth), ...).
 func NewStore(synth Synth, cfg StoreConfig) *Store {
 	if synth == nil {
 		panic("serve: NewStore needs a Synth")
 	}
-	return newStore(synth, nil, cfg)
+	return New(WithSynth(synth), withStoreConfig(cfg))
 }
 
 // NewAppendStore builds a store over an appending synthesis function:
 // cache misses build into a pooled scratch buffer and seal an
 // exact-size immutable copy into the cache, so the steady-state cold
 // path allocates only the bytes that are actually retained.
+//
+// Deprecated: use New(WithAppendSynth(synth), ...).
 func NewAppendStore(synth AppendSynth, cfg StoreConfig) *Store {
 	if synth == nil {
 		panic("serve: NewAppendStore needs an AppendSynth")
 	}
-	return newStore(nil, synth, cfg)
+	return New(WithAppendSynth(synth), withStoreConfig(cfg))
 }
 
-// NewWriterStore builds a store over a sized streaming synthesizer:
-// cache misses allocate the sealed body at its exact final size and
-// stream into it, skipping both the scratch buffer and the sealing
-// copy of the append path. This is the writer-first single source of
-// truth — the same Write that streams a body to a socket fills the
-// cache, so cached and streamed bytes cannot diverge.
+// NewWriterStore builds a store over a sized streaming synthesizer
+// (see WithWriterSynth for the contract).
+//
+// Deprecated: use New(WithWriterSynth(ws), ...).
 func NewWriterStore(ws WriterSynth, cfg StoreConfig) *Store {
 	if ws.Size == nil || ws.Write == nil {
 		panic("serve: NewWriterStore needs both Size and Write")
 	}
-	s := newStore(nil, nil, cfg)
-	s.writerSynth = ws
-	return s
+	return New(WithWriterSynth(ws), withStoreConfig(cfg))
 }
 
 // NewCtxStore builds a store over a cancellation-aware synthesis
-// function. Misses synthesize on a per-flight context: the flight is
-// shared singleflight-style by every concurrent caller for the key,
-// and is canceled only when the last of them departs, so a canceled
-// viewer aborts an origin fetch nobody else wants without poisoning a
-// body other viewers are waiting on.
+// function (see WithCtxSynth for the contract).
+//
+// Deprecated: use New(WithCtxSynth(synth), ...).
 func NewCtxStore(synth CtxSynth, cfg StoreConfig) *Store {
 	if synth == nil {
 		panic("serve: NewCtxStore needs a CtxSynth")
 	}
-	s := newStore(nil, nil, cfg)
-	s.ctxSynth = synth
-	return s
+	return New(WithCtxSynth(synth), withStoreConfig(cfg))
 }
 
 func newStore(synth Synth, appendSynth AppendSynth, cfg StoreConfig) *Store {
@@ -353,19 +487,23 @@ func (s *Store) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
 		}
 	}
 	fl := &flight{done: make(chan struct{}), interest: 1}
-	if s.ctxSynth != nil {
+	if s.ctxAware() {
 		fl.ctx, fl.cancel = newFlightCtx()
 	}
 	sh.inflight[key] = fl
 	sh.mu.Unlock()
 
 	s.met.misses.Inc()
-	if s.ctxSynth != nil {
+	if s.ctxAware() {
 		// The leader's departure is its caller's cancellation: release
 		// its interest then, so a flight nobody wants anymore aborts the
 		// synthesis instead of running to completion at the origin.
 		stop := context.AfterFunc(ctx, func() { s.abandon(sh, key, fl) })
-		fl.body, fl.err = s.ctxSynth(fl.ctx, key)
+		if s.ctxWriter.Write != nil {
+			fl.body, fl.err = s.synthesizeStreamedCtx(fl.ctx, key)
+		} else {
+			fl.body, fl.err = s.ctxSynth(fl.ctx, key)
+		}
 		stop()
 	} else {
 		fl.body, fl.err = s.synthesize(key)
@@ -475,6 +613,32 @@ func (s *Store) synthesizeStreamed(key ChunkKey) ([]byte, error) {
 	return body, nil
 }
 
+// synthesizeStreamedCtx is synthesizeStreamed on the flight's shared
+// context: same exact-size sealed allocation, but the synthesizer may
+// abort mid-stream once every interested caller has departed.
+func (s *Store) synthesizeStreamedCtx(ctx context.Context, key ChunkKey) ([]byte, error) {
+	n, err := s.ctxWriter.Size(key)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("serve: sized synth for %s reports negative length %d", key, n)
+	}
+	sw := writerPool.Get().(*sliceWriter)
+	sw.buf = make([]byte, 0, n)
+	err = s.ctxWriter.Write(ctx, sw, key)
+	body := sw.buf
+	sw.buf = nil
+	writerPool.Put(sw)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != n {
+		return nil, fmt.Errorf("serve: sized synth for %s wrote %d bytes, want %d", key, len(body), n)
+	}
+	return body, nil
+}
+
 // seal copies b into an exactly-sized slice (len == cap).
 func seal(b []byte) []byte {
 	out := make([]byte, len(b))
@@ -525,6 +689,42 @@ func (s *Store) Reset() {
 		sh.mu.Unlock()
 		s.met.bytes.Add(-dropped)
 	}
+}
+
+// Put warms the cache with an already-built body for key — the
+// replication write path: a cluster owner that just served a body
+// hands the same sealed slice to the key's other owners, so a warm
+// costs no synthesis and no copy. The body must be immutable and is
+// retained as the shared cached copy (a slice previously returned by
+// Get satisfies the contract). An existing entry wins — bodies are
+// pure functions of the key, so there is nothing to replace. Reports
+// whether the body is resident afterwards (false for duplicates and
+// for bodies too large to cache).
+func (s *Store) Put(key ChunkKey, body []byte) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return false
+	}
+	s.insertLocked(sh, key, body)
+	_, ok := sh.entries[key]
+	return ok
+}
+
+// ChunkLen reports the exact body length the store would serve for the
+// addressed chunk without synthesizing it. Only stores with a sized
+// streaming synth (WithWriterSynth / WithCtxWriterSynth) carry a size
+// model; others return an error.
+func (s *Store) ChunkLen(videoID string, quality, tile, index int, layer bool) (int, error) {
+	key := ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer}
+	switch {
+	case s.writerSynth.Size != nil:
+		return s.writerSynth.Size(key)
+	case s.ctxWriter.Size != nil:
+		return s.ctxWriter.Size(key)
+	}
+	return 0, fmt.Errorf("serve: store has no size model for %s", key)
 }
 
 // Contains reports whether key is resident (without touching LRU

@@ -39,6 +39,11 @@ var clockAllowlist = map[string]bool{
 	// time; everything else (breaker cooldowns, health state) reads the
 	// injected clock.
 	"internal/cluster:wallSleep": true,
+	// openWire is the router's one hop onto the wire client, whose
+	// retry loop is wall-tainted through its default Now/Sleep fields —
+	// the same seam shape as serve's httpMirror.mirror: real-network
+	// latency enters here and nowhere else in the cluster.
+	"internal/cluster:Node.openWire": true,
 	// The engine's HTTP observation leg calls dash.Client.FetchChunk,
 	// which is wall-tainted through its default Now/Sleep fields; the
 	// mirror is exactly the seam where measured real-network latency

@@ -29,6 +29,9 @@ var ctxAllowlist = map[string]bool{
 	// that outlives any single caller and is canceled only when every
 	// sharing caller has departed — a fresh root by design.
 	"internal/serve:newFlightCtx": true,
+	// Health probes originate inside the cluster's probe loop, not from
+	// any viewer request; probeCtx mints the root they run under.
+	"internal/cluster:probeCtx": true,
 }
 
 // CtxFlow enforces context propagation on the delivery path: inside

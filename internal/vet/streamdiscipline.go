@@ -27,6 +27,17 @@ var streamMaterializers = map[string]string{
 	"internal/media:AppendSyntheticPayload": "media.WriteSyntheticSegment",
 }
 
+// streamStdlibMaterializers are standard-library whole-body readers
+// banned in specific spans, keyed "pkg:Func" → the one span directory
+// the ban covers. The wire cluster's router proxies chunk bodies into
+// the caller's ResponseWriter through a pooled copy buffer
+// (Cluster.proxyBody) or a pre-sized sink (fetchWire); slurping a
+// response body with io.ReadAll would re-materialize every chunk at
+// the router and put per-request allocation back on the hot path.
+var streamStdlibMaterializers = map[string]string{
+	"io:ReadAll": "internal/cluster",
+}
+
 // streamAllowlist names the functions inside the spans that may call a
 // materializer: the dash builders themselves (BuildChunkBody is the
 // documented convenience wrapper over the append form, and the append
@@ -61,7 +72,16 @@ var StreamDiscipline = &Analyzer{
 						return true
 					}
 					callee := calleeOf(tp.Info, call)
-					if callee == nil || callee.Pkg() == nil || !m.Internal(callee.Pkg().Path()) {
+					if callee == nil || callee.Pkg() == nil {
+						return true
+					}
+					if !m.Internal(callee.Pkg().Path()) {
+						stdKey := callee.Pkg().Path() + ":" + callee.Name()
+						if streamStdlibMaterializers[stdKey] == tp.Dir {
+							out = append(out, f.diag("streamdiscipline", call.Pos(),
+								"%s.%s slurps a whole stream on the serving hot path %s (func %s): proxy writer-first via io.CopyBuffer with a pooled block",
+								callee.Pkg().Name(), callee.Name(), tp.Dir, name))
+						}
 						return true
 					}
 					key := m.DirOf(callee.Pkg().Path()) + ":" + callee.Name()

@@ -1,0 +1,11 @@
+//sperke:fixture path=internal/cluster/bad.go
+package cluster
+
+import "io"
+
+// fetchWire slurps the edge's response body into one materialized
+// []byte per request — exactly what the router's proxy path exists to
+// avoid.
+func fetchWire(body io.Reader) ([]byte, error) {
+	return io.ReadAll(body)
+}
