@@ -198,6 +198,53 @@ func BenchmarkWireColdServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkWireCoalescedHerd pins the router singleflight's price
+// under contention: parallel front-door GETs of one warm key, so every
+// op runs the coalescer's enter/finish protocol (leading its own
+// flight or briefly following a concurrent one) on top of the proxied
+// round trip. The column to watch is allocs/op — a flight costs its
+// leader one struct, and the protocol must never add body-sized work
+// or a channel per uncontended op.
+func BenchmarkWireCoalescedHerd(b *testing.B) {
+	v := benchVideo()
+	catalog := dash.NewCatalog()
+	if err := catalog.Add(v); err != nil {
+		b.Fatal(err)
+	}
+	origin := serve.NewCatalogStore(catalog, serve.StoreConfig{Shards: 16, BudgetBytes: 256 << 20})
+	c, err := cluster.New(origin,
+		cluster.WithNodes(3),
+		cluster.WithLoopback(),
+		cluster.WithCatalog(catalog),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	defer func() {
+		for _, name := range c.NodeNames() {
+			c.RemoveNode(name)
+		}
+	}()
+	front := c.FrontDoor()
+	bodyLen, err := dash.ChunkBodyLen(v, 3, 0, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := httptest.NewRequest("GET", "/v/bench/c/3/0/0", nil)
+	front.ServeHTTP(&discardResponse{h: make(http.Header, 4)}, warm)
+	b.SetBytes(int64(bodyLen))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest("GET", "/v/bench/c/3/0/0", nil)
+		w := &discardResponse{h: make(http.Header, 4)}
+		for pb.Next() {
+			front.ServeHTTP(w, req)
+		}
+	})
+}
+
 // BenchmarkConcurrentSessions pins the session engine's scaling: 32
 // simulated viewers at 1 worker vs 8. The acceptance bar is >2× wall
 // speedup at 8 workers — with byte-identical per-session QoE, which the

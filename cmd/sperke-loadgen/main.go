@@ -30,9 +30,11 @@ import (
 	"sperke/internal/cluster"
 	"sperke/internal/core"
 	"sperke/internal/dash"
+	"sperke/internal/hmp"
 	"sperke/internal/media"
 	"sperke/internal/obs"
 	"sperke/internal/serve"
+	"sperke/internal/sphere"
 	"sperke/internal/tiling"
 )
 
@@ -58,6 +60,8 @@ func run() error {
 	nodes := flag.Int("nodes", 0, "edge nodes in front of the origin (0 = no cluster tier)")
 	wire := flag.Bool("wire", false, "run each edge as a real HTTP process on its own loopback listener")
 	replicas := flag.Int("replicas", 1, "rendezvous owners per chunk key (R>1 = replication)")
+	coalesce := flag.Bool("coalesce", true, "collapse concurrent same-key cold misses at the cluster router")
+	prewarm := flag.Int("prewarm", 0, "crowd-prior pre-warm fanout per served chunk (0 = off; needs -nodes)")
 	addNodeAt := flag.Duration("add-node-at", 0, "grow the cluster by one edge this long into the run (0 = never)")
 	killAt := flag.Duration("kill-at", 0, "crash -kill-node this long into the run (0 = never)")
 	recoverAt := flag.Duration("recover-at", 0, "restart the killed node this long into the run (0 = never)")
@@ -97,19 +101,34 @@ func run() error {
 			if *nodes > 0 {
 				// Cluster topology: N edge caches rendezvous-route in front
 				// of the catalog store, which becomes the origin tier.
-				var err error
-				clu, err = cluster.New(store,
+				opts := []cluster.Option{
 					cluster.WithNodes(*nodes),
 					cluster.WithCatalog(catalog),
 					cluster.WithNodeShards(*storeShards),
-					cluster.WithNodeBudget(int64(*storeMB)<<20/int64(*nodes)),
+					cluster.WithNodeBudget(int64(*storeMB) << 20 / int64(*nodes)),
 					cluster.WithReplication(*replicas),
 					cluster.WithWire(*wire),
+					cluster.WithCoalescing(*coalesce),
 					cluster.WithObs(reg),
-				)
+				}
+				if *prewarm > 0 {
+					// The crowd prior is built from the exact head traces
+					// this run's viewers will follow (same seeds, same
+					// recipe), so the pre-warm tier sees the correlation
+					// §3.2 measures on real crowds.
+					heat := hmp.BuildHeatmap(video.Grid, sphere.Equirectangular{},
+						sphere.DefaultFoV, video.ChunkDuration, video.Duration,
+						serve.SessionTraces(serve.EngineConfig{
+							Video: video, Sessions: *sessions, BaseSeed: *seed,
+						}))
+					opts = append(opts, cluster.WithPrewarm(heat, *prewarm))
+				}
+				var err error
+				clu, err = cluster.New(store, opts...)
 				if err != nil {
 					return err
 				}
+				defer clu.Close()
 				clu.StartProbes(ctx)
 				handler = clu.FrontDoor()
 				if *addNodeAt > 0 {
@@ -210,6 +229,9 @@ func run() error {
 			float64(store.Bytes())/1e6)
 	}
 	if clu != nil {
+		// Fence the async warm tier so the warm/prewarm counters below
+		// are exact, not a snapshot of a still-draining queue.
+		clu.DrainWarms()
 		printClusterSummary(clu, reg)
 	}
 	return nil
@@ -224,6 +246,8 @@ func printClusterSummary(clu *cluster.Cluster, reg *obs.Registry) {
 		clu.Warms(),
 		reg.Counter("cluster.origin_fallbacks").Value(),
 		float64(reg.Gauge("cluster.origin_offload_ratio").Value())/100)
+	fmt.Printf("    coalesced %d, warm drops %d, prewarms %d (%d origin syntheses)\n",
+		clu.Coalesced(), clu.WarmDrops(), clu.Prewarms(), clu.PrewarmFetches())
 	fmt.Printf("    health: %d down transitions, %d up transitions; origin fetches %d\n",
 		reg.Counter("cluster.health.down_transitions").Value(),
 		reg.Counter("cluster.health.up_transitions").Value(),

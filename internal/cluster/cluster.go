@@ -41,8 +41,15 @@ type clusterMetrics struct {
 	sheds           *obs.Counter // refused by an edge's admission guard
 	warms           *obs.Counter // replication writes into co-owner caches
 	originFallbacks *obs.Counter // requests no edge served
-	originFetches   *obs.Counter // origin syntheses (fallbacks + edge misses)
+	originFetches   *obs.Counter // origin syntheses a viewer waited on (fallbacks + edge misses)
 	offload         *obs.Gauge   // cluster.origin_offload_ratio, basis points
+
+	coalesced        *obs.Counter // requests served from another request's in-flight body
+	warmDrops        *obs.Counter // warm jobs dropped by the bounded queue
+	prewarms         *obs.Counter // crowd-prior bodies written into edge caches
+	prewarmFetches   *obs.Counter // origin syntheses performed speculatively by the pre-warmer
+	originStreamErrs *obs.Counter // origin-fallback streams that failed (not counted as fetches)
+	originChunkErrs  *obs.Counter // origin-fallback materialized fetches that failed
 }
 
 // membership is one immutable snapshot of the routing table. Routing
@@ -104,6 +111,9 @@ type Cluster struct {
 	met      clusterMetrics
 	reg      *obs.Registry
 	copyBufs *obs.BufferPool // proxy copy blocks (wire streaming path)
+
+	coal  *coalescer // router-level singleflight; nil with WithCoalescing(false)
+	warmQ *warmQueue // background replica-warm / pre-warm queue
 }
 
 // New builds a cluster of WithNodes edges named "edge-0" … "edge-N-1"
@@ -144,8 +154,19 @@ func New(origin dash.ChunkSource, opts ...Option) (*Cluster, error) {
 			originFallbacks: cfg.obs.Counter("cluster.origin_fallbacks"),
 			originFetches:   cfg.obs.Counter("cluster.origin_fetches"),
 			offload:         cfg.obs.Gauge("cluster.origin_offload_ratio"),
+
+			coalesced:        cfg.obs.Counter("cluster.coalesced"),
+			warmDrops:        cfg.obs.Counter("cluster.warm_drops"),
+			prewarms:         cfg.obs.Counter("cluster.prewarms"),
+			prewarmFetches:   cfg.obs.Counter("cluster.prewarm_fetches"),
+			originStreamErrs: cfg.obs.Counter("cluster.origin_stream_errors"),
+			originChunkErrs:  cfg.obs.Counter("cluster.origin_errors"),
 		},
 		copyBufs: obs.NewSizedBufferPool(cfg.obs, "cluster.proxy", proxyBlock, proxyBlock),
+		warmQ:    newWarmQueue(),
+	}
+	if cfg.coalesce {
+		c.coal = newCoalescer()
 	}
 	if cfg.loopback {
 		c.loop = NewLoopbackTransport()
@@ -258,12 +279,53 @@ func (c *Cluster) Wire() bool { return c.cfg.wire }
 // of the failure detector and moves on to the next-ranked edge; an
 // edge shed breaks straight to the origin — the other edges are not
 // this key's owners and pushing overflow at them just spreads the
-// overload. A served body is written through to the key's other live
-// cold owners when replication is on.
+// overload. A served body is queued for write-through to the key's
+// other live cold owners when replication is on. With coalescing on,
+// a request arriving while the same key is already being fetched
+// attaches to that flight instead of walking at all.
 func (c *Cluster) Chunk(ctx context.Context, videoID string, quality, tile, index int, layer bool) ([]byte, error) {
 	c.met.requests.Inc()
 	defer c.updateOffload()
 	key := serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer}
+	if c.coal == nil {
+		return c.walkChunk(ctx, key)
+	}
+	f, role := c.coal.enter(key)
+	switch role {
+	case roleFollow:
+		return c.awaitFlight(ctx, key, f)
+	case roleBypass:
+		return c.walkChunk(ctx, key)
+	}
+	var body []byte
+	var err error
+	defer func() { c.coal.finish(key, f, body, err) }()
+	body, err = c.walkChunk(ctx, key)
+	return body, err
+}
+
+// awaitFlight is the coalesced follower's path: wait for the leader's
+// body, or give up when the follower's own caller cancels. A leader
+// failure — which includes the leader's caller canceling — must not
+// poison the herd, so on error the follower falls back to its own
+// ranked walk (the edge stores' singleflight still keeps that cheap).
+func (c *Cluster) awaitFlight(ctx context.Context, key serve.ChunkKey, f *routeFlight) ([]byte, error) {
+	select {
+	case <-ctx.Done():
+		c.coal.detach(f)
+		return nil, ctx.Err()
+	case <-f.done:
+	}
+	if f.err != nil || f.body == nil {
+		return c.walkChunk(ctx, key)
+	}
+	c.met.coalesced.Inc()
+	return f.body, nil
+}
+
+// walkChunk is the materialized ranked walk — everything Chunk does
+// after request accounting and coalescing.
+func (c *Cluster) walkChunk(ctx context.Context, key serve.ChunkKey) ([]byte, error) {
 	m := c.mem.Load()
 	ranked := Rank(key, m.ids)
 	owners := ranked[:min(c.cfg.replication, len(ranked))]
@@ -277,14 +339,17 @@ func (c *Cluster) Chunk(ctx context.Context, videoID string, quality, tile, inde
 		if n.client != nil {
 			body, err = c.fetchWire(ctx, n, key)
 		} else {
-			body, err = n.Chunk(ctx, videoID, quality, tile, index, layer)
+			body, err = n.Chunk(ctx, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
 		}
 		if err == nil {
 			c.health.observe(id, nil)
 			if rank > 0 {
 				c.met.reroutes.Inc()
 			}
-			c.warmOwners(m, owners, id, key, body)
+			if targets := c.warmTargets(m, owners, id, key); len(targets) > 0 {
+				c.enqueueWarm(warmJob{key: key, body: body, targets: targets})
+			}
+			c.enqueuePrewarms(key)
 			return body, nil
 		}
 		if ctx.Err() != nil {
@@ -298,8 +363,38 @@ func (c *Cluster) Chunk(ctx context.Context, videoID string, quality, tile, inde
 		c.health.observe(id, err)
 	}
 	c.met.originFallbacks.Inc()
+	body, err := c.origin.Chunk(ctx, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+	if err != nil {
+		// A failed or canceled fallback synthesized nothing; counting it
+		// as an origin fetch would skew the offload ratio downward.
+		c.met.originChunkErrs.Inc()
+		return nil, err
+	}
 	c.met.originFetches.Inc()
-	return c.origin.Chunk(ctx, videoID, quality, tile, index, layer)
+	c.enqueuePrewarms(key)
+	return body, nil
+}
+
+// enqueuePrewarms queues crowd-prior warm candidates for the other
+// tiles viewers at this playhead are most likely to request next — the
+// cache-tier application of §3.2's cross-user FoV correlation. A
+// candidate already queued is skipped; residency and ownership are
+// re-checked by the worker at execution time.
+func (c *Cluster) enqueuePrewarms(key serve.ChunkKey) {
+	if c.cfg.prior == nil {
+		return
+	}
+	for _, tile := range c.cfg.prior.TopTilesAt(key.Index, c.cfg.prewarmFanout) {
+		if tile == key.Tile {
+			continue
+		}
+		pk := key
+		pk.Tile = tile
+		if !c.warmQ.markPending(pk) {
+			continue
+		}
+		c.enqueueWarm(warmJob{key: pk})
+	}
 }
 
 // isShed reports an admission-guard refusal in either its in-process
@@ -336,19 +431,6 @@ func (c *Cluster) warmTargets(m *membership, owners []string, served string, key
 	return targets
 }
 
-// warmOwners performs the replication writes for a body served on the
-// materialized path. Synchronous by design: when it returns, every
-// live co-owner holds the copy, which is what makes "kill one owner →
-// zero incremental origin fetches" an exact counter equality rather
-// than an eventually.
-func (c *Cluster) warmOwners(m *membership, owners []string, served string, key serve.ChunkKey, body []byte) {
-	for _, n := range c.warmTargets(m, owners, served, key) {
-		if n.Warm(key, body) {
-			c.met.warms.Inc()
-		}
-	}
-}
-
 // updateOffload republishes cluster.origin_offload_ratio: the fraction
 // of front-door requests the edge tier absorbed without an origin
 // synthesis, in basis points (10000 = full offload). Cumulative since
@@ -373,8 +455,27 @@ func (c *Cluster) OffloadCounts() (requests, originFetches int64) {
 	return c.met.requests.Value(), c.met.originFetches.Value()
 }
 
-// Warms reports the cumulative replication writes.
+// Warms reports the cumulative replication writes applied by the warm
+// worker. Asynchronous — call DrainWarms first when asserting exact
+// counts.
 func (c *Cluster) Warms() int64 { return c.met.warms.Value() }
+
+// Coalesced reports requests served from another request's in-flight
+// body by the router-level singleflight.
+func (c *Cluster) Coalesced() int64 { return c.met.coalesced.Value() }
+
+// WarmDrops reports warm jobs the bounded queue discarded under
+// pressure.
+func (c *Cluster) WarmDrops() int64 { return c.met.warmDrops.Value() }
+
+// Prewarms reports crowd-prior bodies written into edge caches.
+func (c *Cluster) Prewarms() int64 { return c.met.prewarms.Value() }
+
+// PrewarmFetches reports origin syntheses performed speculatively by
+// the pre-warmer — kept apart from cluster.origin_fetches so the
+// offload ratio keeps meaning "viewers served without waiting on the
+// origin" while total origin load stays visible.
+func (c *Cluster) PrewarmFetches() int64 { return c.met.prewarmFetches.Value() }
 
 // ProbeAll runs one active probe sweep: every node the detector lets
 // through gets a Ping — a real GET /v in the wire forms — and the

@@ -26,6 +26,11 @@ type config struct {
 	loopback    bool
 	transport   http.RoundTripper
 	nodeRetry   dash.RetryPolicy
+
+	coalesce      bool
+	warmQueueCap  int
+	prior         TilePrior
+	prewarmFanout int
 }
 
 func defaultClusterConfig() config {
@@ -39,8 +44,21 @@ func defaultClusterConfig() config {
 		// Failover is the retry: the router's per-edge clients take one
 		// shot and let the ranked walk move on, so a dead edge costs one
 		// connection refusal, not a backoff ladder.
-		nodeRetry: dash.RetryPolicy{MaxAttempts: -1},
+		nodeRetry:    dash.RetryPolicy{MaxAttempts: -1},
+		coalesce:     true,
+		warmQueueCap: 256,
 	}
+}
+
+// TilePrior ranks tiles by crowd viewing probability at a chunk index
+// — the seam WithPrewarm consumes. hmp.Heatmap satisfies it (chunk
+// index and heatmap interval are the same axis); any other popularity
+// source that can answer "which tiles will viewers at this playhead
+// want" plugs in the same way.
+type TilePrior interface {
+	// TopTilesAt returns up to k tile IDs for chunk interval index,
+	// most-viewed first, deterministically ordered.
+	TopTilesAt(index, k int) []int
 }
 
 // Option configures a Cluster built by New. Nil options are ignored;
@@ -167,6 +185,48 @@ func WithTransport(rt http.RoundTripper) Option {
 		if rt != nil {
 			c.wire = true
 			c.transport = rt
+		}
+	}
+}
+
+// WithCoalescing turns the router-level singleflight on or off. On by
+// default: concurrent cold requests for one key — even when the ranked
+// walk would spread them across different edges, or push them onto the
+// origin fallback — collapse into a single upstream fetch, with late
+// arrivals served from the in-flight body (cluster.coalesced counts
+// them). Off exists for measurement: the herd experiments quantify
+// what coalescing saves by disabling it.
+func WithCoalescing(on bool) Option {
+	return func(c *config) { c.coalesce = on }
+}
+
+// WithWarmQueue bounds the background warm queue (replication writes
+// and pre-warms). When full, the oldest queued warm is dropped and
+// counted under cluster.warm_drops — warming degrades under pressure
+// instead of the serving path slowing down. Values <= 0 keep the
+// default of 256.
+func WithWarmQueue(depth int) Option {
+	return func(c *config) {
+		if depth > 0 {
+			c.warmQueueCap = depth
+		}
+	}
+}
+
+// WithPrewarm enables playhead-correlated cache warming: every chunk
+// the cluster serves enqueues warm candidates for the fanout
+// most-probable other tiles at the same chunk index per the crowd
+// prior, so the next viewer at that playhead finds its FoV already at
+// the edge (§3.2's cross-user correlation, applied to the cache tier).
+// Pre-warm syntheses run on the background warm worker and count under
+// cluster.prewarm_fetches, never under cluster.origin_fetches — the
+// offload ratio keeps meaning "viewers served without waiting on the
+// origin". A nil prior or fanout <= 0 leaves pre-warming off.
+func WithPrewarm(prior TilePrior, fanout int) Option {
+	return func(c *config) {
+		if prior != nil && fanout > 0 {
+			c.prior = prior
+			c.prewarmFanout = fanout
 		}
 	}
 }

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"sperke/internal/hmp"
+	"sperke/internal/serve"
+	"sperke/internal/sim"
+)
+
+// The crowd heatmap is the production TilePrior — pin the structural
+// match at compile time so a signature drift in either package fails
+// the build, not a deployment.
+var _ TilePrior = (*hmp.Heatmap)(nil)
+
+// fakePrior predicts the same tile set at every playhead.
+type fakePrior struct{ tiles []int }
+
+func (p *fakePrior) TopTilesAt(index, k int) []int {
+	if k > len(p.tiles) {
+		k = len(p.tiles)
+	}
+	return p.tiles[:k]
+}
+
+// TestPrewarmFetchesPredictedNeighbors is the tentpole's pre-warm
+// acceptance: serving one tile enqueues the crowd prior's neighbor
+// tiles, the worker synthesizes each once into its rendezvous owner
+// under cluster.prewarm_fetches (never cluster.origin_fetches), and
+// the next viewer of those tiles is served warm — the offload ratio
+// counts them as origin-free.
+func TestPrewarmFetchesPredictedNeighbors(t *testing.T) {
+	origin := &countingOrigin{}
+	c, err := New(origin, WithNodes(2),
+		WithPrewarm(&fakePrior{tiles: []int{1, 2}}, 2), WithClock(sim.NewClock(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := serve.ChunkKey{Video: "vid", Quality: 0, Tile: 0, Index: 0}
+	fetchKey(t, c, key)
+	c.DrainWarms()
+	if got := c.PrewarmFetches(); got != 2 {
+		t.Fatalf("prewarm_fetches = %d, want 2", got)
+	}
+	if got := c.Prewarms(); got != 2 {
+		t.Fatalf("prewarms = %d, want 2", got)
+	}
+	if got := c.met.originFetches.Value(); got != 1 {
+		t.Fatalf("origin_fetches = %d after prewarming, want 1 — speculative fetches must not count", got)
+	}
+	// Each predicted tile landed in its own rendezvous owner's cache.
+	m := c.mem.Load()
+	for _, tile := range []int{1, 2} {
+		pk := key
+		pk.Tile = tile
+		owner := m.byID[Rank(pk, m.ids)[0]]
+		if !owner.store.Contains(pk) {
+			t.Fatalf("tile %d not resident on its owner %s after prewarm", tile, owner.ID())
+		}
+	}
+	// The predicted viewers arrive: warm serves, no new origin work.
+	before := origin.count()
+	for _, tile := range []int{1, 2} {
+		pk := key
+		pk.Tile = tile
+		if got := fetchKey(t, c, pk); string(got) != string(originBody(pk)) {
+			t.Fatalf("prewarmed tile %d body %q, want %q", tile, got, originBody(pk))
+		}
+	}
+	c.DrainWarms()
+	if origin.count() != before {
+		t.Fatalf("serving prewarmed tiles cost %d extra origin calls, want 0", origin.count()-before)
+	}
+	if req, fetches := c.OffloadCounts(); req != 3 || fetches != 1 {
+		t.Fatalf("OffloadCounts = (%d, %d), want (3, 1)", req, fetches)
+	}
+}
+
+// TestPrewarmSkipsServedTileAndDuplicates: the prior ranks the served
+// tile itself first — it must be skipped, and a key already pending in
+// the queue must not be enqueued twice.
+func TestPrewarmSkipsServedTileAndDuplicates(t *testing.T) {
+	origin := &countingOrigin{}
+	c, err := New(origin, WithNodes(1),
+		WithPrewarm(&fakePrior{tiles: []int{0, 1}}, 2), WithClock(sim.NewClock(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := serve.ChunkKey{Video: "vid", Quality: 0, Tile: 0, Index: 0}
+	fetchKey(t, c, key)
+	fetchKey(t, c, key) // warm replay re-ranks the same neighbors
+	c.DrainWarms()
+	if got := c.PrewarmFetches(); got != 1 {
+		t.Fatalf("prewarm_fetches = %d, want 1 — tile 0 is being served and tile 1 dedupes", got)
+	}
+}
+
+// TestWarmQueueDropsOldestWhenFull pins the bounded queue's overload
+// behavior: with the worker stuck on one job and the queue at
+// capacity, a new enqueue evicts the OLDEST waiting job — the one
+// whose playhead relevance has decayed most — counts it under
+// cluster.warm_drops, and clears its pending mark so the key can be
+// predicted again later.
+func TestWarmQueueDropsOldestWhenFull(t *testing.T) {
+	keyAt := func(tile int) serve.ChunkKey {
+		return serve.ChunkKey{Video: "vid", Quality: 0, Tile: tile, Index: 0}
+	}
+	origin := newBlockingOrigin(keyAt(0))
+	c, err := New(origin, WithNodes(1), WithWarmQueue(2), WithClock(sim.NewClock(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Occupy the worker: it dequeues tile 0's pre-warm and blocks inside
+	// the origin synthesis, leaving the queue empty.
+	c.warmQ.markPending(keyAt(0))
+	c.enqueueWarm(warmJob{key: keyAt(0)})
+	<-origin.arrived
+	// Fill the queue to its cap of 2, then overflow it.
+	for tile := 1; tile <= 3; tile++ {
+		c.warmQ.markPending(keyAt(tile))
+		c.enqueueWarm(warmJob{key: keyAt(tile)})
+	}
+	if got := c.WarmDrops(); got != 1 {
+		t.Fatalf("warm_drops = %d, want 1", got)
+	}
+	close(origin.release)
+	c.DrainWarms()
+	if got := c.PrewarmFetches(); got != 3 {
+		t.Fatalf("prewarm_fetches = %d, want 3 — tiles 0, 2, 3 execute", got)
+	}
+	edge := c.Node("edge-0")
+	for tile, want := range map[int]bool{0: true, 1: false, 2: true, 3: true} {
+		if got := edge.store.Contains(keyAt(tile)); got != want {
+			t.Fatalf("tile %d resident = %v, want %v", tile, got, want)
+		}
+	}
+	// The dropped key's pending mark was cleared — it can be re-queued.
+	if !c.warmQ.markPending(keyAt(1)) {
+		t.Fatal("dropped key still marked pending")
+	}
+}
+
+// TestDrainWarmsIdleAndCloseIdempotent: DrainWarms on a never-used
+// queue returns immediately, Close is idempotent, and jobs enqueued
+// after Close are discarded rather than leaked to a dead worker.
+func TestDrainWarmsIdleAndCloseIdempotent(t *testing.T) {
+	c, err := New(&countingOrigin{}, WithNodes(1), WithClock(sim.NewClock(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DrainWarms() // must not block: worker never started
+	c.Close()
+	c.Close() // idempotent
+	c.enqueueWarm(warmJob{key: serve.ChunkKey{Video: "vid"}})
+	c.DrainWarms() // must not block: queue is stopped
+	if got := c.PrewarmFetches(); got != 0 {
+		t.Fatalf("job enqueued after Close ran anyway (prewarm_fetches = %d)", got)
+	}
+	if _, err := c.Chunk(context.Background(), "vid", 0, 0, 0, false); err != nil {
+		t.Fatalf("serving after Close failed: %v", err)
+	}
+}

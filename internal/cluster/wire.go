@@ -38,14 +38,65 @@ func (f streamFront) StreamChunk(ctx context.Context, w http.ResponseWriter, vid
 // streamChunk is the wire router's serve path: rank the key's edges,
 // open the first live one as a stream, and relay body bytes into the
 // caller's ResponseWriter through a pooled copy block — the router
-// never holds a whole chunk body. Failover before the first body byte
+// never holds a whole chunk body unless replication or coalescing
+// needs one teed on the way past. Failover before the first body byte
 // behaves exactly like the materialized walk (next edge, shed breaks
 // to origin); a failure mid-body is unrecoverable — bytes are already
 // on the wire — so it feeds the detector and aborts the response.
+// With coalescing on, a request arriving while the same key is in
+// flight is served from the flight's teed body instead of walking.
 func (c *Cluster) streamChunk(ctx context.Context, w http.ResponseWriter, videoID string, quality, tile, index int, layer bool) (int64, error) {
 	c.met.requests.Inc()
 	defer c.updateOffload()
 	key := serve.ChunkKey{Video: videoID, Quality: quality, Tile: tile, Index: index, Layer: layer}
+	if c.coal == nil {
+		n, _, err := c.walkStream(ctx, w, key, nil)
+		return n, err
+	}
+	f, role := c.coal.enter(key)
+	switch role {
+	case roleFollow:
+		return c.serveFlightStream(ctx, w, key, f)
+	case roleBypass:
+		n, _, err := c.walkStream(ctx, w, key, nil)
+		return n, err
+	}
+	var body []byte
+	var n int64
+	var err error
+	defer func() { c.coal.finish(key, f, body, err) }()
+	n, body, err = c.walkStream(ctx, w, key, f)
+	return n, err
+}
+
+// serveFlightStream is the coalesced follower's streaming path: wait
+// for the leader's teed body and write it out whole. A failed leader
+// (including one whose own caller canceled) must not poison the herd,
+// so on error — or when the leader committed to the no-tee form before
+// this follower could be refused — the follower runs its own walk.
+func (c *Cluster) serveFlightStream(ctx context.Context, w http.ResponseWriter, key serve.ChunkKey, f *routeFlight) (int64, error) {
+	select {
+	case <-ctx.Done():
+		c.coal.detach(f)
+		return 0, ctx.Err()
+	case <-f.done:
+	}
+	if f.err != nil || f.body == nil {
+		n, _, err := c.walkStream(ctx, w, key, nil)
+		return n, err
+	}
+	c.met.coalesced.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(f.body)))
+	wn, err := w.Write(f.body)
+	return int64(wn), err
+}
+
+// walkStream is the streaming ranked walk. When the caller is a
+// coalescing flight leader (fl != nil) the served body is teed on the
+// way past and returned for publication to the flight's followers;
+// otherwise the body slice is nil unless replication needed it.
+func (c *Cluster) walkStream(ctx context.Context, w http.ResponseWriter, key serve.ChunkKey, fl *routeFlight) (int64, []byte, error) {
 	m := c.mem.Load()
 	ranked := Rank(key, m.ids)
 	owners := ranked[:min(c.cfg.replication, len(ranked))]
@@ -57,7 +108,7 @@ func (c *Cluster) streamChunk(ctx context.Context, w http.ResponseWriter, videoI
 		if err != nil {
 			if ctx.Err() != nil {
 				// The caller left; don't punish the node for it.
-				return 0, err
+				return 0, nil, err
 			}
 			if isShed(err) {
 				c.met.sheds.Inc()
@@ -67,20 +118,20 @@ func (c *Cluster) streamChunk(ctx context.Context, w http.ResponseWriter, videoI
 			continue
 		}
 		targets := c.warmTargets(m, owners, id, key)
-		written, err := c.proxyBody(w, st, targets, key)
+		written, body, err := c.proxyBody(w, st, targets, key, fl)
 		if err != nil {
 			c.health.observe(id, err)
-			return written, err
+			return written, nil, err
 		}
 		c.health.observe(id, nil)
 		if rank > 0 {
 			c.met.reroutes.Inc()
 		}
-		return written, nil
+		c.enqueuePrewarms(key)
+		return written, body, nil
 	}
 	c.met.originFallbacks.Inc()
-	c.met.originFetches.Inc()
-	return c.streamOrigin(ctx, w, key)
+	return c.streamOrigin(ctx, w, key, fl)
 }
 
 // bodySink accumulates a teed body into a pre-sized buffer: the
@@ -94,12 +145,17 @@ func (b *bodySink) Write(p []byte) (int, error) {
 
 // proxyBody forwards an opened edge response into the caller's
 // ResponseWriter with Content-Length preserved, streaming through a
-// pooled copy block. When the key has other live cold owners
-// (replication) the body tees into one exact-size buffer on the way
-// past and lands in their caches as the replication write — the only
-// case in which the body exists whole anywhere in the router, and then
-// as the replica's cached copy.
-func (c *Cluster) proxyBody(w http.ResponseWriter, st dash.ChunkStream, targets []*Node, key serve.ChunkKey) (int64, error) {
+// pooled copy block. The body tees into one exact-size buffer on the
+// way past only when someone needs it whole: the key has other live
+// cold owners (the buffer is queued as their replication write) or
+// coalesced followers are attached to the leader's flight (the buffer
+// is published as their response). A leader with neither commits the
+// flight to the no-tee form first, so the warm-cache fast path stays
+// allocation-flat. A drained stream shorter or longer than the edge's
+// declared Content-Length is a wire fault: the response is already
+// ruined for the caller, so it returns a typed transient error that
+// feeds the failure detector instead of posing as a success.
+func (c *Cluster) proxyBody(w http.ResponseWriter, st dash.ChunkStream, targets []*Node, key serve.ChunkKey, fl *routeFlight) (int64, []byte, error) {
 	defer st.Body.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if st.Length >= 0 {
@@ -107,24 +163,36 @@ func (c *Cluster) proxyBody(w http.ResponseWriter, st dash.ChunkStream, targets 
 	}
 	dst := io.Writer(w)
 	var warm *bodySink
-	if st.Length >= 0 && len(targets) > 0 {
-		warm = &bodySink{buf: make([]byte, 0, st.Length)}
-		dst = io.MultiWriter(w, warm)
+	if st.Length >= 0 {
+		tee := len(targets) > 0
+		if !tee && fl != nil && !c.coal.tryNoTee(fl) {
+			// Followers are already waiting on this flight; tee for them.
+			tee = true
+		}
+		if tee {
+			warm = &bodySink{buf: make([]byte, 0, st.Length)}
+			dst = io.MultiWriter(w, warm)
+		}
 	}
 	block := c.copyBufs.Get()
 	n, err := io.CopyBuffer(dst, st.Body, (*block)[:cap(*block)])
 	c.copyBufs.Put(block)
 	if err != nil {
-		return n, err
+		return n, nil, err
 	}
-	if warm != nil && int64(len(warm.buf)) == st.Length {
-		for _, t := range targets {
-			if t.Warm(key, warm.buf) {
-				c.met.warms.Inc()
-			}
+	if st.Length >= 0 && n != st.Length {
+		return n, nil, &dash.Error{
+			Op: key.String(), Kind: dash.KindTransient,
+			Err: fmt.Errorf("cluster: edge body length mismatch: copied %d of %d declared bytes", n, st.Length),
 		}
 	}
-	return n, nil
+	if warm == nil {
+		return n, nil, nil
+	}
+	if len(targets) > 0 {
+		c.enqueueWarm(warmJob{key: key, body: warm.buf, targets: targets})
+	}
+	return n, warm.buf, nil
 }
 
 // chunkSizer and chunkStreamerTo are the origin's optional streaming
@@ -139,34 +207,54 @@ type chunkStreamerTo interface {
 }
 
 // streamOrigin is the no-edge-left fallback of the streaming path.
-// When the origin exposes the sized streaming seam, the body streams
-// from the origin's own sealed allocation with Content-Length declared
-// up front; otherwise the plain ChunkSource form serves.
-func (c *Cluster) streamOrigin(ctx context.Context, w http.ResponseWriter, key serve.ChunkKey) (int64, error) {
+// When the origin exposes the sized streaming seam — and no coalesced
+// follower needs the body whole — the body streams from the origin's
+// own sealed allocation with Content-Length declared up front;
+// otherwise the plain ChunkSource form serves (and publishes to the
+// flight's followers). cluster.origin_fetches counts only streams that
+// completed: a failed or canceled fallback synthesized nothing a
+// viewer got, and counting it would skew the offload ratio, so those
+// land under cluster.origin_stream_errors instead.
+func (c *Cluster) streamOrigin(ctx context.Context, w http.ResponseWriter, key serve.ChunkKey, fl *routeFlight) (int64, []byte, error) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	sizer, hasSize := c.origin.(chunkSizer)
 	streamer, hasStream := c.origin.(chunkStreamerTo)
-	if hasSize && hasStream {
+	if hasSize && hasStream && (fl == nil || c.coal.tryNoTee(fl)) {
 		n, err := sizer.ChunkLen(key.Video, key.Quality, key.Tile, key.Index, key.Layer)
 		if err != nil {
-			return 0, err
+			c.met.originStreamErrs.Inc()
+			return 0, nil, err
 		}
 		w.Header().Set("Content-Length", strconv.Itoa(n))
-		return streamer.ChunkTo(ctx, w, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+		wn, err := streamer.ChunkTo(ctx, w, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
+		if err != nil {
+			c.met.originStreamErrs.Inc()
+			return wn, nil, err
+		}
+		c.met.originFetches.Inc()
+		c.enqueuePrewarms(key)
+		return wn, nil, nil
 	}
 	body, err := c.origin.Chunk(ctx, key.Video, key.Quality, key.Tile, key.Index, key.Layer)
 	if err != nil {
-		return 0, err
+		c.met.originStreamErrs.Inc()
+		return 0, nil, err
 	}
+	c.met.originFetches.Inc()
+	c.enqueuePrewarms(key)
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	wn, err := w.Write(body)
-	return int64(wn), err
+	return int64(wn), body, err
 }
 
 // fetchWire serves the materialized ChunkSource contract over the
 // wire: open the edge's stream and drain it into one exact-size
 // buffer. Only the front door's []byte path pays this; the streaming
-// path (streamChunk) never builds the slice.
+// path (streamChunk) never builds the slice. A drained body that
+// disagrees with the edge's declared Content-Length is a wire fault —
+// handing short bytes to the caller (or worse, a replica's cache)
+// would launder a truncation into a valid-looking chunk — so it fails
+// with a typed transient error and lets the ranked walk move on.
 func (c *Cluster) fetchWire(ctx context.Context, n *Node, key serve.ChunkKey) ([]byte, error) {
 	st, err := n.openWire(ctx, key)
 	if err != nil {
@@ -179,6 +267,12 @@ func (c *Cluster) fetchWire(ctx context.Context, n *Node, key serve.ChunkKey) ([
 	}
 	if _, err := io.Copy(sink, st.Body); err != nil {
 		return nil, err
+	}
+	if st.Length >= 0 && int64(len(sink.buf)) != st.Length {
+		return nil, &dash.Error{
+			Op: key.String(), Kind: dash.KindTransient,
+			Err: fmt.Errorf("cluster: edge body length mismatch: drained %d of %d declared bytes", len(sink.buf), st.Length),
+		}
 	}
 	return sink.buf, nil
 }

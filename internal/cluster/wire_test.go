@@ -201,11 +201,13 @@ func TestWireRealListeners(t *testing.T) {
 	}
 }
 
-// TestWireReplicationSurvivesOwnerKill is the PR's replication
-// acceptance: with R=2 every served body lands on both rendezvous
-// owners, so killing either one and replaying the whole key set costs
-// exactly zero incremental origin fetches — an equality on counters,
-// not a bound.
+// TestWireReplicationSurvivesOwnerKill is the replication acceptance
+// (E23): with R=2 every served body lands on both rendezvous owners,
+// so killing either one and replaying the whole key set costs exactly
+// zero incremental origin fetches — an equality on counters, not a
+// bound. Warm writes are asynchronous now, so the equality is eventual
+// until DrainWarms fences the warm queue; after the fence it is exact
+// again.
 func TestWireReplicationSurvivesOwnerKill(t *testing.T) {
 	v := wireVideo()
 	origin := &countingOrigin{}
@@ -224,7 +226,10 @@ func TestWireReplicationSurvivesOwnerKill(t *testing.T) {
 	if origin.count() != len(keys) {
 		t.Fatalf("warm pass cost %d origin fetches, want %d", origin.count(), len(keys))
 	}
-	// The replication write-through: every key resides on both owners.
+	// The replication write-through runs on the warm worker; the fence
+	// turns "eventually both owners hold every key" into an exact
+	// assertion.
+	c.DrainWarms()
 	if got := c.Warms(); got != int64(len(keys)) {
 		t.Fatalf("warms = %d, want one per key = %d", got, len(keys))
 	}
@@ -284,6 +289,9 @@ func TestRemoveNodeWithReplicationCostsNoRefetch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Fence the async replication writes: removal is only free once the
+	// surviving owner actually holds the copies.
+	c.DrainWarms()
 	const drained = "edge-2"
 	removed := c.Node(drained)
 	if err := c.RemoveNode(drained); err != nil {

@@ -227,7 +227,7 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(path, resp)
+		return nil, c.statusError(path, resp)
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -242,14 +242,16 @@ func (c *Client) getOnce(ctx context.Context, path string, timeout time.Duration
 // consuming up to 256 bytes of the body for the message. 5xx and 429
 // are transient; a Retry-After on a shed response upgrades the
 // classification to overload — the server is alive but drowning, and
-// told us when to come back. The caller still owns closing resp.Body.
-func statusError(path string, resp *http.Response) *Error {
+// told us when to come back. A method because the HTTP-date form of
+// Retry-After is a deadline, and turning it into a duration needs the
+// client's clock seam. The caller still owns closing resp.Body.
+func (c *Client) statusError(path string, resp *http.Response) *Error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 	kind := KindFatal
 	var retryAfter time.Duration
 	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
 		kind = KindTransient
-		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After"), c.now()); ra > 0 {
 			kind, retryAfter = KindOverload, ra
 		}
 	}
@@ -290,19 +292,29 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
 	}
 }
 
-// parseRetryAfter reads the integer-seconds form of a Retry-After
-// value. The HTTP-date form and garbage parse as 0 (no hint), which
-// keeps the response a plain transient failure.
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After value in either RFC 9110 form:
+// delay-seconds ("120") or an HTTP-date deadline, which converts to a
+// duration against now (the client's clock seam, so tests and sim
+// clocks stay deterministic). A date already past means "come back
+// now" and parses as 0, as does garbage — either way the response
+// stays a plain transient failure with no overload hint.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // FetchMPD downloads and parses a video's manifest.
@@ -352,7 +364,7 @@ func (c *Client) openOnce(ctx context.Context, path string) (ChunkStream, *Error
 		return ChunkStream{}, &Error{Op: path, Kind: classifyCtx(ctx, err), Err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
-		derr := statusError(path, resp)
+		derr := c.statusError(path, resp)
 		resp.Body.Close()
 		return ChunkStream{}, derr
 	}
@@ -410,7 +422,7 @@ func (c *Client) Ping(ctx context.Context) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return statusError("/v", resp)
+		return c.statusError("/v", resp)
 	}
 	// Drain the (tiny) listing so the connection is reusable.
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))

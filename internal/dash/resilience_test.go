@@ -300,6 +300,10 @@ func TestClientOverloadExhaustionKeepsKind(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
+	// RFC 9110 §10.2.3 allows both delay-seconds and an HTTP-date; the
+	// date form converts against the caller-supplied clock so the test
+	// (and sim-clocked clients) stay deterministic.
+	now := time.Date(2015, 10, 21, 7, 28, 0, 0, time.UTC)
 	for _, tc := range []struct {
 		in   string
 		want time.Duration
@@ -310,11 +314,40 @@ func TestParseRetryAfter(t *testing.T) {
 		{"", 0},
 		{"-1", 0},
 		{"garbage", 0},
-		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // HTTP-date form: no hint
+		{"Wed, 21 Oct 2015 07:28:30 GMT", 30 * time.Second}, // HTTP-date, 30s out
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},                // HTTP-date, exactly now
+		{"Wed, 21 Oct 2015 07:20:00 GMT", 0},                // HTTP-date in the past
+		{"Wed, 41 Oct 2015 07:28:00 GMT", 0},                // malformed date
 	} {
-		if got := parseRetryAfter(tc.in); got != tc.want {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestRetryAfterHTTPDateUpgradesToOverload pins the wire behavior of
+// the date form end to end: a 503 whose Retry-After is an HTTP-date
+// must classify as overload with the deadline converted against the
+// client's clock seam, exactly like the integer form.
+func TestRetryAfterHTTPDateUpgradesToOverload(t *testing.T) {
+	now := time.Date(2015, 10, 21, 7, 28, 0, 0, time.UTC)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", now.Add(42*time.Second).UTC().Format(http.TimeFormat))
+		http.Error(w, "shedding", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, WithRetry(RetryPolicy{MaxAttempts: -1}))
+	c.Now = func() time.Time { return now }
+	_, err := c.FetchChunk(context.Background(), "v", 0, 0, 0)
+	var derr *Error
+	if !errors.As(err, &derr) {
+		t.Fatalf("expected *dash.Error, got %v", err)
+	}
+	if derr.Kind != KindOverload {
+		t.Fatalf("Kind = %v, want overload (HTTP-date Retry-After dropped?)", derr.Kind)
+	}
+	if derr.RetryAfter != 42*time.Second {
+		t.Fatalf("RetryAfter = %v, want 42s", derr.RetryAfter)
 	}
 }
 

@@ -127,6 +127,54 @@ func (h *Heatmap) TopTiles(at time.Duration, k int) []tiling.TileID {
 	return ids[:k]
 }
 
+// TopTilesAt returns up to k tile IDs for chunk interval index,
+// most-viewed first, with ties broken toward lower IDs — the
+// plain-int form of TopTiles keyed directly by chunk index. Chunk
+// index and heatmap interval share an axis (intervals are
+// [i·ChunkDur, (i+1)·ChunkDur), exactly the chunk boundaries), so a
+// cache tier that knows which chunk it just served can ask for the
+// crowd's likely co-requests without converting through time or
+// importing the tiling types. Out-of-range indexes clamp like
+// interval() does. Unlike TopTiles, tiles no session ever viewed are
+// omitted — a zero-probability candidate is a wasted speculative
+// fetch, not a ranked one — so fewer than k tiles may come back.
+func (h *Heatmap) TopTilesAt(index, k int) []int {
+	if len(h.prob) == 0 || k <= 0 {
+		return nil
+	}
+	if index < 0 {
+		index = 0
+	}
+	if index >= len(h.prob) {
+		index = len(h.prob) - 1
+	}
+	row := h.prob[index]
+	ids := make([]int, len(row))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if row[ids[a]] != row[ids[b]] {
+			return row[ids[a]] > row[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	viewed := len(ids)
+	for i, id := range ids {
+		if row[id] == 0 {
+			viewed = i
+			break
+		}
+	}
+	if k > viewed {
+		k = viewed
+	}
+	if k == 0 {
+		return nil
+	}
+	return ids[:k]
+}
+
 // CrowdCenter returns the crowd's mean viewing direction during the
 // interval containing at.
 func (h *Heatmap) CrowdCenter(at time.Duration) sphere.Orientation {

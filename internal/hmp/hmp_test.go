@@ -162,6 +162,74 @@ func TestHeatmapTopTilesOrdered(t *testing.T) {
 	}
 }
 
+func TestHeatmapTopTilesAtMatchesTopTiles(t *testing.T) {
+	h, _, _ := buildTestHeatmap(t, 10)
+	// Chunk index i addresses the same interval as playhead i·ChunkDur,
+	// so the int-keyed form must agree with the time-keyed ranking on
+	// its (possibly shorter — TopTilesAt drops zero-probability tiles)
+	// prefix, and every tile it returns must have been viewed.
+	for idx := 0; idx < h.Intervals(); idx++ {
+		byIndex := h.TopTilesAt(idx, 5)
+		at := time.Duration(idx) * 2 * time.Second
+		byTime := h.TopTiles(at, 5)
+		if len(byIndex) > len(byTime) {
+			t.Fatalf("index %d: %d tiles by index, only %d by time", idx, len(byIndex), len(byTime))
+		}
+		for i := range byIndex {
+			if tiling.TileID(byIndex[i]) != byTime[i] {
+				t.Fatalf("index %d rank %d: tile %d by index, %d by time", idx, i, byIndex[i], byTime[i])
+			}
+			if h.Probability(at, byTime[i]) == 0 {
+				t.Fatalf("index %d rank %d: zero-probability tile %d returned", idx, i, byIndex[i])
+			}
+		}
+	}
+	// Most-viewed first, ties toward lower IDs.
+	top := h.TopTilesAt(2, h.Grid.Tiles())
+	for i := 1; i < len(top); i++ {
+		pa, pb := h.prob[2][top[i-1]], h.prob[2][top[i]]
+		if pb > pa || (pb == pa && top[i] < top[i-1]) {
+			t.Fatalf("rank %d: tile %d (p=%v) ordered after tile %d (p=%v)", i, top[i-1], pa, top[i], pb)
+		}
+	}
+	// Out-of-range indexes clamp; k truncates and never over-asks.
+	if got, want := h.TopTilesAt(-3, 4), h.TopTilesAt(0, 4); !equalInts(got, want) {
+		t.Fatalf("negative index = %v, want clamp to first interval %v", got, want)
+	}
+	if got, want := h.TopTilesAt(999, 4), h.TopTilesAt(h.Intervals()-1, 4); !equalInts(got, want) {
+		t.Fatalf("overlong index = %v, want clamp to last interval %v", got, want)
+	}
+	viewed := 0
+	for _, p := range h.prob[0] {
+		if p > 0 {
+			viewed++
+		}
+	}
+	if got := h.TopTilesAt(0, h.Grid.Tiles()+10); len(got) != viewed {
+		t.Fatalf("oversized k returned %d tiles, want the %d viewed ones", len(got), viewed)
+	}
+	if h.TopTilesAt(0, 0) != nil {
+		t.Fatal("TopTilesAt(k=0) not nil")
+	}
+	empty := BuildHeatmap(tiling.GridPrototype, sphere.Equirectangular{}, sphere.DefaultFoV,
+		2*time.Second, 10*time.Second, nil)
+	if empty.TopTilesAt(0, 3) != nil {
+		t.Fatal("empty heatmap TopTilesAt not nil")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestHeatmapEmptySessions(t *testing.T) {
 	h := BuildHeatmap(tiling.GridPrototype, sphere.Equirectangular{}, sphere.DefaultFoV,
 		2*time.Second, 10*time.Second, nil)

@@ -214,6 +214,45 @@ func (e *Engine) Run(ctx context.Context) EngineResult {
 	return res
 }
 
+// sessionTrace builds viewer i's head trace: motion seeded from
+// BaseSeed+i, attention from BaseSeed+i+60, over the video plus a 10s
+// tail. This is THE trace recipe — runOne and SessionTraces both call
+// it, so a crowd prior built from SessionTraces describes exactly the
+// heads the run will simulate.
+func sessionTrace(cfg EngineConfig, i int) *trace.HeadTrace {
+	seed := cfg.BaseSeed + int64(i)
+	dur := cfg.Video.Duration + 10*time.Second
+	rng := rand.New(rand.NewSource(seed))
+	att := trace.GenerateAttention(rand.New(rand.NewSource(seed+60)), dur)
+	return trace.Generate(rng, trace.UserProfile{
+		ID:         fmt.Sprintf("viewer-%d", i),
+		SpeedScale: cfg.SpeedScale,
+	}, att, dur)
+}
+
+// SessionTraces regenerates the head traces an engine built from cfg
+// will drive, without running anything — the input a caller needs to
+// build a crowd heatmap (hmp.BuildHeatmap) that matches the run, e.g.
+// to seed a cache tier's pre-warm prior. Applies the same defaults
+// NewEngine does, so passing the identical cfg yields the identical
+// traces.
+func SessionTraces(cfg EngineConfig) []*trace.HeadTrace {
+	if cfg.Video == nil {
+		return nil
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.SpeedScale <= 0 {
+		cfg.SpeedScale = 1
+	}
+	traces := make([]*trace.HeadTrace, cfg.Sessions)
+	for i := range traces {
+		traces[i] = sessionTrace(cfg, i)
+	}
+	return traces
+}
+
 // runOne builds and runs viewer i exactly the way the experiment
 // harness builds single sessions, so engine QoE is comparable with
 // experiment tables at the same seed.
@@ -233,13 +272,7 @@ func (e *Engine) runOne(ctx context.Context, i int) SessionResult {
 			wall:   obs.NewWall(),
 		}
 	}
-	dur := v.Duration + 10*time.Second
-	rng := rand.New(rand.NewSource(seed))
-	att := trace.GenerateAttention(rand.New(rand.NewSource(seed+60)), dur)
-	head := trace.Generate(rng, trace.UserProfile{
-		ID:         fmt.Sprintf("viewer-%d", i),
-		SpeedScale: e.cfg.SpeedScale,
-	}, att, dur)
+	head := sessionTrace(e.cfg, i)
 	s, err := core.NewSession(clock, core.Config{
 		Video:          v,
 		Mode:           e.cfg.Mode,

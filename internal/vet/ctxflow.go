@@ -32,6 +32,11 @@ var ctxAllowlist = map[string]bool{
 	// Health probes originate inside the cluster's probe loop, not from
 	// any viewer request; probeCtx mints the root they run under.
 	"internal/cluster:probeCtx": true,
+	// Background warm work (replica writes, crowd-prior pre-warm
+	// syntheses) runs on the warm worker, decoupled by design from the
+	// viewer request that enqueued it — cancellation would couple them
+	// back. warmCtx mints that root.
+	"internal/cluster:warmCtx": true,
 }
 
 // CtxFlow enforces context propagation on the delivery path: inside

@@ -34,8 +34,11 @@ var streamMaterializers = map[string]string{
 // (Cluster.proxyBody) or a pre-sized sink (fetchWire); slurping a
 // response body with io.ReadAll would re-materialize every chunk at
 // the router and put per-request allocation back on the hot path.
+// The deprecated ioutil alias forwards to the same function but
+// resolves to its own package object, so it gets its own entry.
 var streamStdlibMaterializers = map[string]string{
-	"io:ReadAll": "internal/cluster",
+	"io:ReadAll":        "internal/cluster",
+	"io/ioutil:ReadAll": "internal/cluster",
 }
 
 // streamAllowlist names the functions inside the spans that may call a
@@ -46,6 +49,13 @@ var streamStdlibMaterializers = map[string]string{
 var streamAllowlist = map[string]bool{
 	"internal/dash:BuildChunkBody":  true,
 	"internal/dash:AppendChunkBody": true,
+	// The warm queue's worker is the cluster's sanctioned off-hot-path
+	// consumer: it runs on its own goroutine behind a bounded queue, and
+	// a warm write inherently needs an owned []byte to hand R caches.
+	// Materializing THERE is the design — the discipline is that serving
+	// goroutines enqueue and stream on, never materialize inline.
+	"internal/cluster:Cluster.runWarmJob": true,
+	"internal/cluster:Cluster.runPrewarm": true,
 }
 
 // StreamDiscipline flags materializing chunk-body builds on the

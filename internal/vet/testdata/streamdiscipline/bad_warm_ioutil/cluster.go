@@ -1,0 +1,11 @@
+//sperke:fixture path=internal/cluster/bad.go
+package cluster
+
+import "io/ioutil"
+
+// enqueueWarm materializes the whole body inline on the serving
+// goroutine before queueing the warm — through the deprecated ioutil
+// alias, which must not dodge the io.ReadAll ban.
+func enqueueWarm(body interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	return ioutil.ReadAll(body)
+}
